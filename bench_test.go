@@ -1,0 +1,250 @@
+package cyclehub
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§VI), operating on the tiny-scale dataset analogs so `go test -bench=.`
+// finishes quickly. The full-scale numbers EXPERIMENTS.md records come
+// from `go run ./cmd/cscbench -scale small|full`, which runs the same
+// harness code (internal/exp).
+
+import (
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/cluster"
+	"repro/internal/csc"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hpspc"
+	"repro/internal/order"
+	"repro/internal/pll"
+)
+
+// BenchmarkTable4Stats regenerates every dataset analog (Table IV).
+func BenchmarkTable4Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := exp.Table4(exp.Tiny); len(rows) != 9 {
+			b.Fatal("registry broken")
+		}
+	}
+}
+
+// BenchmarkFig9Build measures index construction per dataset for both
+// algorithms (Figure 9a); sizes (Figure 9b) are reported as custom
+// metrics.
+func BenchmarkFig9Build(b *testing.B) {
+	for _, d := range exp.Datasets() {
+		g := d.Build(exp.Tiny)
+		ord := order.ByDegree(g)
+		b.Run(d.Name+"/HP-SPC", func(b *testing.B) {
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				h, _ := hpspc.Build(g.Clone(), ord, pll.Redundancy)
+				bytes = h.Bytes()
+			}
+			b.ReportMetric(float64(bytes), "index-bytes")
+		})
+		b.Run(d.Name+"/CSC", func(b *testing.B) {
+			var bytes int
+			for i := 0; i < b.N; i++ {
+				x, _ := csc.Build(g.Clone(), ord, csc.Options{})
+				bytes = x.ReducedBytes()
+			}
+			b.ReportMetric(float64(bytes), "reduced-index-bytes")
+		})
+	}
+}
+
+// fig10Fixture builds the per-cluster query workload for one dataset.
+type fig10Fixture struct {
+	g        *graph.Digraph
+	hp       *hpspc.Index
+	x        *csc.Index
+	clusters [5][]int
+}
+
+func newFig10Fixture(b *testing.B, name string) *fig10Fixture {
+	b.Helper()
+	d, err := exp.DatasetByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Build(exp.Tiny)
+	ord := order.ByDegree(g)
+	hp, _ := hpspc.Build(g.Clone(), ord, pll.Redundancy)
+	x, _ := csc.Build(g.Clone(), ord, csc.Options{})
+	vs := make([]int, g.NumVertices())
+	for i := range vs {
+		vs[i] = i
+	}
+	return &fig10Fixture{g: g, hp: hp, x: x, clusters: cluster.Vertices(g, vs)}
+}
+
+// BenchmarkFig10Query measures SCCnt per algorithm per degree cluster
+// (Figure 10) on the skewed EME analog, where the clusters differ most.
+func BenchmarkFig10Query(b *testing.B) {
+	f := newFig10Fixture(b, "EME")
+	for ci, cvs := range f.clusters {
+		if len(cvs) == 0 {
+			continue
+		}
+		name := cluster.Names[ci]
+		b.Run(name+"/BFS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bfscount.CycleCount(f.g, cvs[i%len(cvs)])
+			}
+		})
+		b.Run(name+"/HP-SPC", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.hp.CycleCount(cvs[i%len(cvs)])
+			}
+		})
+		b.Run(name+"/CSC", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.x.CycleCount(cvs[i%len(cvs)])
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Insert measures one maintained edge insertion (each
+// iteration inserts a fresh edge and removes it again untimed is not
+// possible inside testing.B, so the pair is measured; the paper's
+// insertion-only numbers come from cscbench -exp fig11).
+func BenchmarkFig11Insert(b *testing.B) {
+	for _, strat := range []pll.Strategy{pll.Redundancy, pll.Minimality} {
+		b.Run(strat.String(), func(b *testing.B) {
+			d, _ := exp.DatasetByName("G04")
+			g := d.Build(exp.Tiny)
+			x, _ := csc.Build(g, order.ByDegree(g), csc.Options{Strategy: strat})
+			r := newEdgePicker(g, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u, v := r.absent()
+				if _, err := x.InsertEdge(u, v); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := x.DeleteEdge(u, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Delete measures one maintained edge deletion plus the
+// insertion restoring it (Figure 12's decremental costs dominate the
+// pair by an order of magnitude).
+func BenchmarkFig12Delete(b *testing.B) {
+	d, _ := exp.DatasetByName("G04")
+	g := d.Build(exp.Tiny)
+	x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if _, err := x.DeleteEdge(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := x.InsertEdge(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaseStudy runs the full Figure 13 pipeline: plant rings, build,
+// rank.
+func BenchmarkCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.CaseStudy(exp.Tiny)
+		if !res.Recovered {
+			b.Fatal("criminals not recovered")
+		}
+	}
+}
+
+// BenchmarkAblationConstruction compares the couple-vertex-skipping
+// construction against the generic engine (DESIGN E12).
+func BenchmarkAblationConstruction(b *testing.B) {
+	d, _ := exp.DatasetByName("WKT")
+	g := d.Build(exp.Tiny)
+	ord := order.ByDegree(g)
+	b.Run("skipping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csc.Build(g.Clone(), ord, csc.Options{})
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csc.Build(g.Clone(), ord, csc.Options{GenericConstruction: true})
+		}
+	})
+}
+
+// BenchmarkScalingBuild tracks label growth with graph size (DESIGN E11).
+func BenchmarkScalingBuild(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000} {
+		g := gen.ErdosRenyi(gen.Config{N: n, M: 4 * n, Seed: int64(n)})
+		ord := order.ByDegree(g)
+		b.Run(sizeName(n), func(b *testing.B) {
+			var entries int
+			for i := 0; i < b.N; i++ {
+				x, _ := csc.Build(g.Clone(), ord, csc.Options{})
+				entries = x.EntryCount()
+			}
+			b.ReportMetric(float64(entries)/float64(2*n), "entries/vertex")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000 && n%1000 == 0:
+		return "n=" + itoa(n/1000) + "k"
+	default:
+		return "n=" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// edgePicker deterministically proposes absent edges for update benches.
+type edgePicker struct {
+	g    *graph.Digraph
+	seed int64
+	k    int64
+}
+
+func newEdgePicker(g *graph.Digraph, seed int64) *edgePicker {
+	return &edgePicker{g: g, seed: seed}
+}
+
+func (p *edgePicker) absent() (int, int) {
+	n := int64(p.g.NumVertices())
+	for {
+		p.k++
+		u := int((p.seed*2654435761 + p.k*40503) % n)
+		v := int((p.seed*97 + p.k*69621) % n)
+		if u < 0 {
+			u += int(n)
+		}
+		if v < 0 {
+			v += int(n)
+		}
+		if u != v && !p.g.HasEdge(u, v) {
+			return u, v
+		}
+	}
+}

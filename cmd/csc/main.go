@@ -1,0 +1,211 @@
+// Command csc builds, queries, updates and persists CSC indexes from the
+// command line.
+//
+// Usage:
+//
+//	csc build  -graph graph.txt -index graph.idx
+//	csc query  -index graph.idx -v 169
+//	csc query  -index graph.idx -all -top 10
+//	csc insert -index graph.idx -u 3 -v 7 [-save]
+//	csc delete -index graph.idx -u 3 -v 7 [-save]
+//	csc stats  -index graph.idx
+//
+// Graphs use the plain edge-list format: a header line "n m" followed by
+// one "u v" line per directed edge ('#' comments allowed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	cyclehub "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = runBuild(args)
+	case "query":
+		err = runQuery(args)
+	case "insert", "delete":
+		err = runUpdate(cmd, args)
+	case "stats":
+		err = runStats(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: csc build|query|insert|delete|stats [flags] (see -h per subcommand)")
+	os.Exit(2)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge-list file to index")
+	indexPath := fs.String("index", "", "output index file")
+	minimality := fs.Bool("minimality", false, "maintain label minimality on updates")
+	fs.Parse(args)
+	if *graphPath == "" || *indexPath == "" {
+		return fmt.Errorf("build: -graph and -index are required")
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := cyclehub.ReadGraph(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	start := time.Now()
+	var opts []cyclehub.Option
+	if *minimality {
+		opts = append(opts, cyclehub.WithMinimality())
+	}
+	idx := cyclehub.BuildIndex(g, opts...)
+	st := idx.Stats()
+	fmt.Printf("index built in %s: %d entries, %d bytes (%d reduced)\n",
+		time.Since(start).Round(time.Millisecond), st.Entries, st.Bytes, st.ReducedBytes)
+	return saveIndex(idx, *indexPath)
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	vertex := fs.Int("v", -1, "query vertex")
+	all := fs.Bool("all", false, "rank every vertex by SCCnt")
+	top := fs.Int("top", 10, "rows to print with -all")
+	fs.Parse(args)
+	idx, err := loadIndex(*indexPath)
+	if err != nil {
+		return err
+	}
+	if *all {
+		type row struct {
+			v int
+			r cyclehub.CycleResult
+		}
+		var rows []row
+		for v := 0; v < idx.Graph().NumVertices(); v++ {
+			if r := idx.CycleCount(v); r.Exists {
+				rows = append(rows, row{v, r})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].r.Count != rows[j].r.Count {
+				return rows[i].r.Count > rows[j].r.Count
+			}
+			return rows[i].r.Length < rows[j].r.Length
+		})
+		if len(rows) > *top {
+			rows = rows[:*top]
+		}
+		fmt.Println("vertex  shortest-cycle-length  count")
+		for _, r := range rows {
+			fmt.Printf("%6d  %21d  %5d\n", r.v, r.r.Length, r.r.Count)
+		}
+		return nil
+	}
+	if *vertex < 0 {
+		return fmt.Errorf("query: -v or -all required")
+	}
+	start := time.Now()
+	r := idx.CycleCount(*vertex)
+	elapsed := time.Since(start)
+	if !r.Exists {
+		fmt.Printf("SCCnt(%d): no cycle (%s)\n", *vertex, elapsed)
+		return nil
+	}
+	fmt.Printf("SCCnt(%d) = %d shortest cycles of length %d (%s)\n",
+		*vertex, r.Count, r.Length, elapsed)
+	return nil
+}
+
+func runUpdate(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	u := fs.Int("u", -1, "edge source")
+	v := fs.Int("v", -1, "edge target")
+	save := fs.Bool("save", false, "write the maintained index back")
+	fs.Parse(args)
+	if *u < 0 || *v < 0 {
+		return fmt.Errorf("%s: -u and -v are required", cmd)
+	}
+	idx, err := loadIndex(*indexPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if cmd == "insert" {
+		err = idx.InsertEdge(*u, *v)
+	} else {
+		err = idx.DeleteEdge(*u, *v)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%d,%d) maintained in %s\n", cmd, *u, *v, time.Since(start))
+	if *save {
+		return saveIndex(idx, *indexPath)
+	}
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	indexPath := fs.String("index", "", "index file")
+	fs.Parse(args)
+	idx, err := loadIndex(*indexPath)
+	if err != nil {
+		return err
+	}
+	st := idx.Stats()
+	g := idx.Graph()
+	fmt.Printf("graph:   %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("labels:  %d entries\n", st.Entries)
+	fmt.Printf("size:    %d bytes full, %d bytes reduced\n", st.Bytes, st.ReducedBytes)
+	return nil
+}
+
+func loadIndex(path string) (*cyclehub.Index, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-index is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cyclehub.ReadIndex(f)
+}
+
+func saveIndex(idx *cyclehub.Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("index saved to %s\n", path)
+	return nil
+}

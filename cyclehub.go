@@ -1,0 +1,251 @@
+// Package cyclehub counts shortest cycles through vertices of dynamic
+// directed graphs in real time. It implements the CSC index of Feng, Peng,
+// Zhang, Zhang and Lin, "Towards Real-Time Counting Shortest Cycles on
+// Dynamic Graphs: A Hub Labeling Approach" (ICDE 2022): the graph is
+// reshaped by a bipartite conversion, a 2-hop counting label is built over
+// the conversion, and SCCnt(v) — the number of shortest cycles through v —
+// is answered with a single merge-join of two label lists in microseconds,
+// independent of v's degree. Edge insertions and deletions maintain the
+// index incrementally instead of rebuilding it.
+//
+// # Quick start
+//
+//	g := cyclehub.NewGraph(4)
+//	g.AddEdge(0, 1); g.AddEdge(1, 2); g.AddEdge(2, 0); g.AddEdge(2, 3)
+//	idx := cyclehub.BuildIndex(g)
+//	r := idx.CycleCount(0) // {Exists: true, Length: 3, Count: 1}
+//	idx.InsertEdge(3, 0)   // index maintained, no rebuild
+//	r = idx.CycleCount(3)  // now on the 4-cycle 3→0→1→2→3
+//
+// The BuildIndex call takes ownership of the graph: after it returns,
+// mutate the graph only through Index.InsertEdge and Index.DeleteEdge.
+package cyclehub
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bfscount"
+	"repro/internal/csc"
+	"repro/internal/graph"
+	"repro/internal/monitor"
+	"repro/internal/order"
+	"repro/internal/pll"
+)
+
+// Graph is a mutable directed graph over dense vertex ids 0..n-1.
+// It rejects self-loops and parallel edges.
+type Graph = graph.Digraph
+
+// NewGraph returns an empty directed graph with n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// GraphFromEdges builds a graph from an edge list.
+func GraphFromEdges(n int, edges [][2]int) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// ReadGraph parses the plain "n m" + "u v" edge-list format (comments
+// start with '#'); self-loops and duplicate edges in the input are
+// silently skipped.
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// CycleResult is the answer to a shortest-cycle-counting query.
+type CycleResult struct {
+	// Exists reports whether any directed cycle passes through the vertex.
+	Exists bool
+	// Length is the number of edges on the shortest cycles (≥ 2).
+	Length int
+	// Count is the number of distinct shortest cycles. Counts saturate at
+	// 2²⁴−1, the width of the index's packed count field.
+	Count uint64
+}
+
+// Option configures BuildIndex.
+type Option func(*buildConfig)
+
+type buildConfig struct {
+	opts csc.Options
+}
+
+// WithMinimality keeps the label minimal after every update (Theorem V.3)
+// at a substantial update-time cost. The default — leaving dominated
+// entries in place ("redundancy") — is what the paper recommends: queries
+// stay exact either way.
+func WithMinimality() Option {
+	return func(c *buildConfig) { c.opts.Strategy = pll.Minimality }
+}
+
+// Index answers CycleCount queries on a dynamic directed graph.
+type Index struct {
+	x *csc.Index
+}
+
+// BuildIndex constructs a CSC index over g using the paper's degree
+// ordering. The index takes ownership of g.
+func BuildIndex(g *Graph, options ...Option) *Index {
+	var cfg buildConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	x, _ := csc.Build(g, order.ByDegree(g), cfg.opts)
+	return &Index{x: x}
+}
+
+// CycleCount answers SCCnt(v): the length and number of the shortest
+// cycles through v.
+func (ix *Index) CycleCount(v int) CycleResult {
+	l, c := ix.x.CycleCount(v)
+	if l == bfscount.NoCycle {
+		return CycleResult{}
+	}
+	return CycleResult{Exists: true, Length: l, Count: c}
+}
+
+// InsertEdge adds edge (a,b) to the graph and maintains the index.
+func (ix *Index) InsertEdge(a, b int) error {
+	_, err := ix.x.InsertEdge(a, b)
+	return err
+}
+
+// DeleteEdge removes edge (a,b) from the graph and maintains the index.
+func (ix *Index) DeleteEdge(a, b int) error {
+	_, err := ix.x.DeleteEdge(a, b)
+	return err
+}
+
+// AddVertex grows the graph by one isolated vertex and returns its id.
+// Vertex ids are dense and never recycled.
+func (ix *Index) AddVertex() (int, error) { return ix.x.AddVertex() }
+
+// DetachVertex removes all edges incident to v through maintained
+// deletions, leaving v isolated — the paper's model of vertex removal.
+// It returns the number of edges removed.
+func (ix *Index) DetachVertex(v int) (int, error) { return ix.x.DetachVertex(v) }
+
+// Graph returns the indexed graph. Do not mutate it directly; use
+// InsertEdge and DeleteEdge so the index stays consistent.
+func (ix *Index) Graph() *Graph { return ix.x.Graph() }
+
+// CycleCountAll evaluates SCCnt for every vertex using the given number
+// of worker goroutines (0 or 1 means sequential). Queries are read-only,
+// so this is safe as long as no update runs concurrently.
+func (ix *Index) CycleCountAll(workers int) []CycleResult {
+	n := ix.Graph().NumVertices()
+	out := make([]CycleResult, n)
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			out[v] = ix.CycleCount(v)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= n {
+					return
+				}
+				out[v] = ix.CycleCount(v)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats describes an index's size.
+type Stats struct {
+	// Entries is the number of 64-bit label entries in the full labeling.
+	Entries int
+	// Bytes is the full label footprint (8 bytes per entry).
+	Bytes int
+	// ReducedBytes is the footprint after couple-pair label merging
+	// (§IV-E), the size a static deployment would store.
+	ReducedBytes int
+}
+
+// Stats reports the index's current size.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Entries:      ix.x.EntryCount(),
+		Bytes:        ix.x.Bytes(),
+		ReducedBytes: ix.x.ReducedBytes(),
+	}
+}
+
+// WriteTo serializes the index; it implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.x.WriteTo(w) }
+
+// ReadIndex loads an index serialized with WriteTo. The loaded index is
+// immediately queryable and maintainable.
+func ReadIndex(r io.Reader) (*Index, error) {
+	x, err := csc.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{x: x}, nil
+}
+
+// TopK maintains a continuously correct top-k ranking of vertices by
+// shortest-cycle count under edge updates — the fraud-watchlist loop from
+// the paper's introduction. It takes over the index: apply updates through
+// the TopK methods, not the Index's.
+type TopK struct {
+	m *monitor.TopK
+}
+
+// WatchTopK wraps an index in a top-k monitor, scoring every vertex once.
+func WatchTopK(ix *Index, k int) *TopK {
+	return &TopK{m: monitor.New(ix.x, k)}
+}
+
+// InsertEdge applies a maintained insertion and refreshes the ranking.
+func (t *TopK) InsertEdge(a, b int) error { return t.m.InsertEdge(a, b) }
+
+// DeleteEdge applies a maintained deletion and refreshes the ranking.
+func (t *TopK) DeleteEdge(a, b int) error { return t.m.DeleteEdge(a, b) }
+
+// Score returns the current standing of one vertex.
+func (t *TopK) Score(v int) CycleResult {
+	s := t.m.Score(v)
+	if !s.Exists {
+		return CycleResult{}
+	}
+	return CycleResult{Exists: true, Length: s.Length, Count: s.Count}
+}
+
+// Top returns up to k vertices ranked by cycle count (descending), with
+// shorter cycles breaking ties.
+func (t *TopK) Top() []RankedVertex {
+	var out []RankedVertex
+	for _, s := range t.m.Top() {
+		out = append(out, RankedVertex{
+			Vertex: s.Vertex,
+			Result: CycleResult{Exists: true, Length: s.Length, Count: s.Count},
+		})
+	}
+	return out
+}
+
+// RankedVertex is one row of a TopK ranking.
+type RankedVertex struct {
+	Vertex int
+	Result CycleResult
+}
+
+// CycleCountBFS answers SCCnt(v) without an index by the paper's BFS
+// baseline (Algorithm 1) in O(n+m) time. Useful for one-off queries or
+// cross-checking.
+func CycleCountBFS(g *Graph, v int) CycleResult {
+	l, c := bfscount.CycleCount(g, v)
+	if l == bfscount.NoCycle {
+		return CycleResult{}
+	}
+	return CycleResult{Exists: true, Length: l, Count: c}
+}

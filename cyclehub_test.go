@@ -1,0 +1,195 @@
+package cyclehub
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func buildTriangle(t *testing.T) *Index {
+	t.Helper()
+	g, err := GraphFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildIndex(g)
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	idx := buildTriangle(t)
+	r := idx.CycleCount(0)
+	if !r.Exists || r.Length != 3 || r.Count != 1 {
+		t.Fatalf("CycleCount(0) = %+v", r)
+	}
+	if r := idx.CycleCount(3); r.Exists {
+		t.Fatalf("vertex 3 should be cycle-free: %+v", r)
+	}
+	if err := idx.InsertEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The new cycle through 3 is 3→0→1→2→3.
+	if r := idx.CycleCount(3); !r.Exists || r.Length != 4 || r.Count != 1 {
+		t.Fatalf("after insert: %+v", r)
+	}
+	if err := idx.DeleteEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r := idx.CycleCount(3); r.Exists {
+		t.Fatalf("after delete: %+v", r)
+	}
+}
+
+func TestMatchesBFSBaseline(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	n := 40
+	g := NewGraph(n)
+	for i := 0; i < 3*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	ref := g.Clone()
+	idx := BuildIndex(g)
+	for v := 0; v < n; v++ {
+		if got, want := idx.CycleCount(v), CycleCountBFS(ref, v); got != want {
+			t.Fatalf("vertex %d: index %+v, BFS %+v", v, got, want)
+		}
+	}
+}
+
+func TestMinimalityOption(t *testing.T) {
+	g, _ := GraphFromEdges(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	idx := BuildIndex(g, WithMinimality())
+	if r := idx.CycleCount(1); !r.Exists || r.Length != 3 {
+		t.Fatalf("minimality index broken: %+v", r)
+	}
+}
+
+func TestStats(t *testing.T) {
+	idx := buildTriangle(t)
+	s := idx.Stats()
+	if s.Entries == 0 || s.Bytes != 8*s.Entries || s.ReducedBytes >= s.Bytes {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	idx := buildTriangle(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if got.CycleCount(v) != idx.CycleCount(v) {
+			t.Fatalf("vertex %d differs after roundtrip", v)
+		}
+	}
+	if got.Graph().NumEdges() != idx.Graph().NumEdges() {
+		t.Fatal("graph lost in roundtrip")
+	}
+	// Loaded index stays dynamic.
+	if err := got.InsertEdge(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r := got.CycleCount(3); !r.Exists {
+		t.Fatal("loaded index not maintainable")
+	}
+}
+
+func TestReadGraph(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("3 2\n0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %d/%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestCycleCountAllParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 200
+	g := NewGraph(n)
+	for i := 0; i < 3*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	idx := BuildIndex(g)
+	seq := idx.CycleCountAll(1)
+	par := idx.CycleCountAll(8)
+	if len(seq) != n || len(par) != n {
+		t.Fatal("wrong result length")
+	}
+	for v := range seq {
+		if seq[v] != par[v] {
+			t.Fatalf("vertex %d: sequential %+v != parallel %+v", v, seq[v], par[v])
+		}
+	}
+}
+
+func TestVertexGrowthAndDetach(t *testing.T) {
+	g, _ := GraphFromEdges(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	idx := BuildIndex(g)
+	v, err := idx.AddVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.InsertEdge(2, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.InsertEdge(v, 0); err != nil {
+		t.Fatal(err)
+	}
+	if r := idx.CycleCount(v); !r.Exists || r.Length != 4 {
+		t.Fatalf("new vertex cycle: %+v", r)
+	}
+	removed, err := idx.DetachVertex(v)
+	if err != nil || removed != 2 {
+		t.Fatalf("DetachVertex = (%d, %v)", removed, err)
+	}
+	if r := idx.CycleCount(v); r.Exists {
+		t.Fatalf("detached vertex still cyclic: %+v", r)
+	}
+	if r := idx.CycleCount(0); !r.Exists || r.Length != 3 {
+		t.Fatalf("triangle broken by detach: %+v", r)
+	}
+}
+
+func TestWatchTopK(t *testing.T) {
+	g, _ := GraphFromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}})
+	w := WatchTopK(BuildIndex(g), 3)
+	top := w.Top()
+	if len(top) != 3 || top[0].Result.Length != 3 {
+		t.Fatalf("initial top = %v", top)
+	}
+	if err := w.InsertEdge(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Score(3); !s.Exists || s.Length != 3 {
+		t.Fatalf("vertex 3 after closing 2→3→4→2: %+v", s)
+	}
+	if err := w.DeleteEdge(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s := w.Score(3); s.Exists {
+		t.Fatalf("vertex 3 after reopening: %+v", s)
+	}
+}
+
+func TestUpdateErrorsSurface(t *testing.T) {
+	idx := buildTriangle(t)
+	if err := idx.InsertEdge(0, 1); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if err := idx.DeleteEdge(1, 0); err == nil {
+		t.Error("missing delete accepted")
+	}
+}

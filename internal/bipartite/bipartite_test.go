@@ -1,0 +1,110 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bfscount"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/testgraphs"
+)
+
+func TestConvertShape(t *testing.T) {
+	g := testgraphs.Figure2()
+	gb := Convert(g)
+	// Gb has 2n vertices and n+m edges (§IV-B).
+	if gb.NumVertices() != 20 {
+		t.Fatalf("|Vb| = %d, want 20", gb.NumVertices())
+	}
+	if gb.NumEdges() != 10+13 {
+		t.Fatalf("|Eb| = %d, want 23", gb.NumEdges())
+	}
+	for v := 0; v < 10; v++ {
+		if !gb.HasEdge(InVertex(v), OutVertex(v)) {
+			t.Fatalf("missing couple edge for %d", v)
+		}
+	}
+	// Original edge v1→v3 becomes (v1_out → v3_in).
+	if !gb.HasEdge(OutVertex(0), InVertex(2)) {
+		t.Fatal("missing converted edge")
+	}
+	// V_in vertices carry all in-edges, V_out all out-edges.
+	for v := 0; v < 10; v++ {
+		if gb.OutDegree(InVertex(v)) != 1 || gb.InDegree(OutVertex(v)) != 1 {
+			t.Fatalf("couple structure broken at %d", v)
+		}
+	}
+}
+
+func TestCoupleHelpers(t *testing.T) {
+	for v := 0; v < 5; v++ {
+		vi, vo := InVertex(v), OutVertex(v)
+		if !IsIn(vi) || IsIn(vo) {
+			t.Fatal("IsIn wrong")
+		}
+		if Couple(vi) != vo || Couple(vo) != vi {
+			t.Fatal("Couple wrong")
+		}
+		if Original(vi) != v || Original(vo) != v {
+			t.Fatal("Original wrong")
+		}
+	}
+	if a, b := ConvertEdge(3, 7); a != OutVertex(3) || b != InVertex(7) {
+		t.Fatalf("ConvertEdge = (%d,%d)", a, b)
+	}
+}
+
+func TestLiftOrderCouplesConsecutive(t *testing.T) {
+	g := testgraphs.Figure2()
+	base := order.ByDegree(g)
+	lifted := LiftOrder(base)
+	if lifted.Len() != 20 {
+		t.Fatalf("lifted len = %d", lifted.Len())
+	}
+	for r := 0; r < base.Len(); r++ {
+		v := base.VertexAt(r)
+		if lifted.VertexAt(2*r) != InVertex(v) || lifted.VertexAt(2*r+1) != OutVertex(v) {
+			t.Fatalf("rank %d: couple not consecutive", r)
+		}
+		if !lifted.Above(InVertex(v), OutVertex(v)) {
+			t.Fatal("v_in must rank above v_out")
+		}
+	}
+}
+
+// Property: the paper's distance law — the shortest v_out→v_in distance in
+// Gb equals 2k−1 where k is the shortest cycle length through v in G, and
+// the path counts coincide with the cycle counts.
+func TestCycleDistanceLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(14)
+		g := graph.New(n)
+		for i := 0; i < n*3; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		gb := Convert(g)
+		for v := 0; v < n; v++ {
+			k, cnt := bfscount.CycleCount(g, v)
+			d, bcnt := bfscount.SPCount(gb, OutVertex(v), InVertex(v))
+			if k == bfscount.NoCycle {
+				if d != bfscount.NoCycle {
+					return false
+				}
+				continue
+			}
+			if d != 2*k-1 || CycleLength(d) != k || bcnt != cnt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package bitpack implements the 64-bit packed label-entry encoding used
+// throughout the index, matching the layout reported in the paper's
+// evaluation settings (§VI-A): the vertex (hub) identifier takes 23 bits,
+// the distance 17 bits, and the shortest-path count 24 bits.
+//
+// The hub field stores the hub's *rank position* rather than its raw vertex
+// id so that label lists sorted by the packed value are automatically sorted
+// by rank, which makes the two-list merge-join query a linear scan.
+//
+// Counts saturate at MaxCount instead of wrapping: once a count reaches the
+// 24-bit ceiling it sticks there, and Add reports saturation so callers can
+// surface it. Distances likewise saturate at MaxDist.
+package bitpack
+
+const (
+	// HubBits is the width of the hub-rank field.
+	HubBits = 23
+	// DistBits is the width of the distance field.
+	DistBits = 17
+	// CountBits is the width of the path-count field.
+	CountBits = 24
+
+	// MaxHub is the largest representable hub rank.
+	MaxHub = 1<<HubBits - 1
+	// MaxDist is the largest representable distance. It doubles as the
+	// "unreachable" sentinel in tentative-distance arrays.
+	MaxDist = 1<<DistBits - 1
+	// MaxCount is the saturation ceiling for shortest-path counts.
+	MaxCount = 1<<CountBits - 1
+
+	distShift = CountBits
+	hubShift  = CountBits + DistBits
+)
+
+// Entry is a packed label entry: [ hub:23 | dist:17 | count:24 ].
+// Entries compare correctly as integers for hub-rank ordering because the
+// hub occupies the most significant bits.
+type Entry uint64
+
+// Pack builds an Entry from its three fields. Values outside the field
+// widths are clamped (hub and dist to their maxima, count to MaxCount);
+// callers that care about exactness should validate beforehand —
+// construction code does, via the package-level limits.
+func Pack(hub, dist int, count uint64) Entry {
+	if hub < 0 {
+		hub = 0
+	} else if hub > MaxHub {
+		hub = MaxHub
+	}
+	if dist < 0 {
+		dist = 0
+	} else if dist > MaxDist {
+		dist = MaxDist
+	}
+	if count > MaxCount {
+		count = MaxCount
+	}
+	return Entry(uint64(hub)<<hubShift | uint64(dist)<<distShift | count)
+}
+
+// Hub returns the hub-rank field.
+func (e Entry) Hub() int { return int(e >> hubShift) }
+
+// Dist returns the distance field.
+func (e Entry) Dist() int { return int(e>>distShift) & MaxDist }
+
+// Count returns the shortest-path count field.
+func (e Entry) Count() uint64 { return uint64(e) & MaxCount }
+
+// WithDistCount returns a copy of e with the distance and count replaced,
+// keeping the hub.
+func (e Entry) WithDistCount(dist int, count uint64) Entry {
+	return Pack(e.Hub(), dist, count)
+}
+
+// AddCount returns the entry with count increased by delta, saturating at
+// MaxCount. The second result reports whether saturation occurred.
+func (e Entry) AddCount(delta uint64) (Entry, bool) {
+	c := e.Count()
+	s := c + delta
+	if s > MaxCount || s < c { // overflow of the 64-bit add cannot happen for 24-bit inputs, but keep the guard
+		return Pack(e.Hub(), e.Dist(), MaxCount), true
+	}
+	return Pack(e.Hub(), e.Dist(), s), false
+}
+
+// SatAdd adds two counts with saturation at MaxCount.
+func SatAdd(a, b uint64) uint64 {
+	s := a + b
+	if s > MaxCount {
+		return MaxCount
+	}
+	return s
+}
+
+// SatMul multiplies two counts with saturation at MaxCount. Both inputs are
+// at most MaxCount (24 bits) so the 64-bit product cannot overflow.
+func SatMul(a, b uint64) uint64 {
+	p := a * b
+	if p > MaxCount {
+		return MaxCount
+	}
+	return p
+}

@@ -1,0 +1,119 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpack(t *testing.T) {
+	cases := []struct {
+		hub, dist int
+		count     uint64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{MaxHub, MaxDist, MaxCount},
+		{42, 17, 123456},
+		{MaxHub / 2, MaxDist / 2, MaxCount / 2},
+	}
+	for _, c := range cases {
+		e := Pack(c.hub, c.dist, c.count)
+		if e.Hub() != c.hub || e.Dist() != c.dist || e.Count() != c.count {
+			t.Errorf("Pack(%d,%d,%d) roundtrip = (%d,%d,%d)",
+				c.hub, c.dist, c.count, e.Hub(), e.Dist(), e.Count())
+		}
+	}
+}
+
+func TestPackClamps(t *testing.T) {
+	e := Pack(MaxHub+10, MaxDist+10, MaxCount+10)
+	if e.Hub() != MaxHub || e.Dist() != MaxDist || e.Count() != MaxCount {
+		t.Errorf("clamped pack = (%d,%d,%d), want maxima", e.Hub(), e.Dist(), e.Count())
+	}
+	e = Pack(-5, -5, 0)
+	if e.Hub() != 0 || e.Dist() != 0 {
+		t.Errorf("negative pack = (%d,%d), want zeros", e.Hub(), e.Dist())
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	f := func(hub, dist uint32, count uint64) bool {
+		h := int(hub % (MaxHub + 1))
+		d := int(dist % (MaxDist + 1))
+		c := count % (MaxCount + 1)
+		e := Pack(h, d, c)
+		return e.Hub() == h && e.Dist() == d && e.Count() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHubOrderingProperty(t *testing.T) {
+	// Entries with distinct hubs must order by hub regardless of the other
+	// fields, because hub occupies the most significant bits.
+	f := func(h1, h2 uint32, d1, d2 uint32, c1, c2 uint64) bool {
+		a := Pack(int(h1%(MaxHub+1)), int(d1%(MaxDist+1)), c1%(MaxCount+1))
+		b := Pack(int(h2%(MaxHub+1)), int(d2%(MaxDist+1)), c2%(MaxCount+1))
+		if a.Hub() == b.Hub() {
+			return true
+		}
+		return (a.Hub() < b.Hub()) == (a < b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddCountSaturates(t *testing.T) {
+	e := Pack(3, 4, MaxCount-1)
+	e2, sat := e.AddCount(1)
+	if sat || e2.Count() != MaxCount {
+		t.Fatalf("AddCount(1) = (%d, %v), want (MaxCount, false)", e2.Count(), sat)
+	}
+	e3, sat := e2.AddCount(1)
+	if !sat || e3.Count() != MaxCount {
+		t.Fatalf("AddCount at ceiling = (%d, %v), want (MaxCount, true)", e3.Count(), sat)
+	}
+	if e3.Hub() != 3 || e3.Dist() != 4 {
+		t.Fatalf("AddCount disturbed hub/dist: (%d,%d)", e3.Hub(), e3.Dist())
+	}
+}
+
+func TestSatArith(t *testing.T) {
+	if got := SatAdd(MaxCount, MaxCount); got != MaxCount {
+		t.Errorf("SatAdd ceiling = %d", got)
+	}
+	if got := SatAdd(2, 3); got != 5 {
+		t.Errorf("SatAdd(2,3) = %d", got)
+	}
+	if got := SatMul(1<<12, 1<<12); got != MaxCount {
+		t.Errorf("SatMul overflow = %d, want MaxCount", got)
+	}
+	if got := SatMul(7, 6); got != 42 {
+		t.Errorf("SatMul(7,6) = %d", got)
+	}
+}
+
+func TestWithDistCount(t *testing.T) {
+	e := Pack(99, 5, 7)
+	e2 := e.WithDistCount(6, 14)
+	if e2.Hub() != 99 || e2.Dist() != 6 || e2.Count() != 14 {
+		t.Fatalf("WithDistCount = (%d,%d,%d)", e2.Hub(), e2.Dist(), e2.Count())
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	hubs := make([]int, 1024)
+	for i := range hubs {
+		hubs[i] = r.Intn(MaxHub)
+	}
+	b.ResetTimer()
+	var sink Entry
+	for i := 0; i < b.N; i++ {
+		sink = Pack(hubs[i&1023], i&MaxDist, uint64(i)&MaxCount)
+	}
+	_ = sink
+}

@@ -1,0 +1,68 @@
+// Package cluster reproduces the workload grouping of the paper's
+// evaluation (§VI-A): query vertices are clustered by their min-in-out
+// degree into five equal-width ranges between the lowest and highest
+// degree observed — High, Mid-high, Mid-low, Low and Bottom — and
+// deletion workloads are clustered the same way by edge degree, defined
+// for edge (v,w) as indeg(v)+outdeg(w) (§VI-C).
+package cluster
+
+import "repro/internal/graph"
+
+// Names lists the five clusters from highest to lowest.
+var Names = [5]string{"High", "Mid-high", "Mid-low", "Low", "Bottom"}
+
+// Vertices splits the given vertices into the five degree clusters by
+// min-in-out degree. Result[0] is High, result[4] is Bottom.
+func Vertices(g *graph.Digraph, vs []int) [5][]int {
+	degrees := make([]int, len(vs))
+	for i, v := range vs {
+		degrees[i] = g.MinInOutDegree(v)
+	}
+	lo, hi := minMax(degrees)
+	var out [5][]int
+	for i, v := range vs {
+		out[bucket(lo, hi, degrees[i])] = append(out[bucket(lo, hi, degrees[i])], v)
+	}
+	return out
+}
+
+// Edges splits edges into five clusters by edge degree.
+func Edges(g *graph.Digraph, es [][2]int) [5][][2]int {
+	degrees := make([]int, len(es))
+	for i, e := range es {
+		degrees[i] = g.InDegree(e[0]) + g.OutDegree(e[1])
+	}
+	lo, hi := minMax(degrees)
+	var out [5][][2]int
+	for i, e := range es {
+		b := bucket(lo, hi, degrees[i])
+		out[b] = append(out[b], e)
+	}
+	return out
+}
+
+func minMax(xs []int) (lo, hi int) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// bucket maps a degree within [lo,hi] to its cluster index; the range is
+// divided evenly into five and index 0 is the highest fifth.
+func bucket(lo, hi, d int) int {
+	if hi == lo {
+		return 4 // single degree value: everything is Bottom
+	}
+	pos := (d - lo) * 5 / (hi - lo + 1)
+	return 4 - pos
+}

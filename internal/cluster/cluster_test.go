@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestVerticesPartition(t *testing.T) {
+	g := gen.PowerLaw(gen.Config{N: 300, M: 1500, Seed: 1}, 2.0, 2.0)
+	vs := make([]int, g.NumVertices())
+	for i := range vs {
+		vs[i] = i
+	}
+	cs := Vertices(g, vs)
+	total := 0
+	for _, c := range cs {
+		total += len(c)
+	}
+	if total != len(vs) {
+		t.Fatalf("clusters hold %d vertices, want %d", total, len(vs))
+	}
+	// Every High vertex must have min-in-out degree ≥ every Bottom vertex.
+	if len(cs[0]) > 0 && len(cs[4]) > 0 {
+		minHigh := g.MinInOutDegree(cs[0][0])
+		for _, v := range cs[0] {
+			if d := g.MinInOutDegree(v); d < minHigh {
+				minHigh = d
+			}
+		}
+		for _, v := range cs[4] {
+			if g.MinInOutDegree(v) > minHigh {
+				t.Fatalf("Bottom vertex %d outdegrees High's minimum", v)
+			}
+		}
+	}
+}
+
+func TestUniformDegreesAllBottom(t *testing.T) {
+	// A directed 3-cycle: all vertices share min-in-out degree 1.
+	g := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := Vertices(g, []int{0, 1, 2})
+	if len(cs[4]) != 3 {
+		t.Fatalf("uniform degrees should land in Bottom: %v", cs)
+	}
+}
+
+func TestEdgesPartition(t *testing.T) {
+	g := gen.PowerLaw(gen.Config{N: 200, M: 1000, Seed: 2}, 2.0, 2.0)
+	es := g.Edges()
+	cs := Edges(g, es)
+	total := 0
+	for _, c := range cs {
+		total += len(c)
+	}
+	if total != len(es) {
+		t.Fatalf("edge clusters hold %d, want %d", total, len(es))
+	}
+	for _, e := range cs[0] {
+		dHigh := g.InDegree(e[0]) + g.OutDegree(e[1])
+		for _, f := range cs[4] {
+			if g.InDegree(f[0])+g.OutDegree(f[1]) > dHigh {
+				t.Fatalf("Bottom edge beats High edge degree")
+			}
+		}
+		break // one representative suffices
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	g := graph.New(3)
+	cs := Vertices(g, nil)
+	for _, c := range cs {
+		if len(c) != 0 {
+			t.Fatal("empty input produced clusters")
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package csc implements the paper's contribution: the Counting Shortest
+// Cycle index (§IV). A directed graph G is reshaped by the bipartite
+// conversion into Gb, a counting hub labeling is built over Gb with the
+// couple-vertex-skipping construction (Algorithms 3-4), and SCCnt(v) is
+// answered as SPCnt(v_out, v_in) in Gb — a single merge-join of two label
+// lists, independent of v's degree. Edge insertions and deletions on G
+// are maintained by the INCCNT and decremental algorithms of §V running
+// on the Gb labeling.
+package csc
+
+import (
+	"time"
+
+	"repro/internal/bfscount"
+	"repro/internal/bipartite"
+	"repro/internal/bitpack"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+	"repro/internal/pll"
+)
+
+// Index is a CSC shortest-cycle-counting index.
+type Index struct {
+	g   *graph.Digraph // the original graph (kept live for updates)
+	eng *pll.Index     // counting labels over the bipartite conversion
+}
+
+// Options configures Build.
+type Options struct {
+	// Strategy selects the dynamic maintenance strategy (§V-B).
+	Strategy pll.Strategy
+	// GenericConstruction builds the Gb labeling with the generic engine
+	// (hub-filtered to V_in) instead of the couple-vertex-skipping
+	// construction. Both produce identical labels — this knob exists for
+	// the ablation benchmark and as a cross-check in tests.
+	GenericConstruction bool
+}
+
+// Build converts g, lifts the ordering, and constructs the CSC labeling.
+// The original graph g is retained (not copied) and subsequently owned by
+// the index: callers must mutate it only through InsertEdge/DeleteEdge.
+func Build(g *graph.Digraph, ord *order.Order, opts Options) (*Index, pll.BuildStats) {
+	start := time.Now()
+	gb := bipartite.Convert(g)
+	lifted := bipartite.LiftOrder(ord)
+	var eng *pll.Index
+	if opts.GenericConstruction {
+		eng, _ = pll.Build(gb, lifted, pll.Options{
+			Strategy:  opts.Strategy,
+			HubFilter: bipartite.IsIn,
+		})
+	} else {
+		eng = buildSkipping(gb, lifted)
+		eng.Strategy = opts.Strategy
+		eng.HubFilter = bipartite.IsIn
+	}
+	idx := &Index{g: g, eng: eng}
+	st := eng.Stats()
+	st.Duration = time.Since(start)
+	return idx, st
+}
+
+// buildSkipping is the couple-vertex-skipping construction (Algorithm 3):
+// only V_in vertices run hub BFSes; each labeled vertex also labels its
+// couple one step further, so the queue only ever holds one vertex per
+// couple and half the join queries are skipped.
+func buildSkipping(gb *graph.Digraph, ord *order.Order) *pll.Index {
+	eng := pll.NewEmpty(gb, ord)
+	n2 := gb.NumVertices()
+	s := &skipScratch{
+		d: make([]int32, n2),
+		c: make([]uint64, n2),
+	}
+	for i := range s.d {
+		s.d[i] = -1
+	}
+	for r := 0; r < n2; r++ {
+		v := ord.VertexAt(r)
+		if !bipartite.IsIn(v) {
+			// V_out vertices only receive their self labels (Alg 3 l.6-8).
+			self := bitpack.Pack(r, 0, 1)
+			eng.In[v].Append(self)
+			eng.Out[v].Append(self)
+			continue
+		}
+		inLabelBFS(eng, gb, ord, v, r, s)
+		outLabelBFS(eng, gb, ord, v, r, s)
+	}
+	return eng
+}
+
+// skipScratch carries the tentative distance/count arrays (D[·], C[·] of
+// Algorithm 3) across hub BFSes; only touched cells are reset.
+type skipScratch struct {
+	d       []int32
+	c       []uint64
+	queue   []int32
+	touched []int32
+}
+
+func (s *skipScratch) reset() {
+	for _, t := range s.touched {
+		s.d[t] = -1
+		s.c[t] = 0
+	}
+	s.queue = s.queue[:0]
+	s.touched = s.touched[:0]
+}
+
+func (s *skipScratch) visit(u int, d int32, c uint64) {
+	s.d[u] = d
+	s.c[u] = c
+	s.touched = append(s.touched, int32(u))
+}
+
+// inLabelBFS generates in-labels with hub v_in = v (rank r). The queue
+// holds V_in vertices only; each popped w also stamps its couple w_out at
+// distance D[w]+1 (couple-vertex skipping).
+func inLabelBFS(eng *pll.Index, gb *graph.Digraph, ord *order.Order, v, r int, s *skipScratch) {
+	defer s.reset()
+	s.visit(v, 0, 1)
+	s.queue = append(s.queue, int32(v))
+	for head := 0; head < len(s.queue); head++ {
+		w := int(s.queue[head])
+		dw := int(s.d[w])
+		if w != v {
+			if dq := label.JoinDist(&eng.Out[v], &eng.In[w]); dq < dw {
+				continue // Alg 3 l.14-15: v not top-ranked on any path
+			}
+		}
+		// INSERT LABEL (Algorithm 4): label w and its couple at +1.
+		wo := bipartite.Couple(w)
+		eng.In[w].Append(bitpack.Pack(r, dw, s.c[w]))
+		eng.In[wo].Append(bitpack.Pack(r, dw+1, s.c[w]))
+		s.visit(wo, int32(dw+1), s.c[w])
+		for _, wn := range gb.Out(wo) {
+			switch {
+			case s.d[wn] == -1:
+				if ord.Rank(int(wn)) > r { // v ≺ wn
+					s.visit(int(wn), int32(dw+2), s.c[wo])
+					s.queue = append(s.queue, wn)
+				}
+			case int(s.d[wn]) == dw+2:
+				s.c[wn] = bitpack.SatAdd(s.c[wn], s.c[wo])
+			}
+		}
+	}
+}
+
+// outLabelBFS generates out-labels with hub v_in = v (rank r), walking the
+// reverse direction. After the first dequeue the queue holds V_out
+// vertices only; reaching the hub's own couple v_out yields the cycle
+// entry in Lout(v_out) and prunes (§IV-C distinction 4).
+func outLabelBFS(eng *pll.Index, gb *graph.Digraph, ord *order.Order, v, r int, s *skipScratch) {
+	defer s.reset()
+	// First dequeue (distinction 3): self label only, then expand v's
+	// in-neighbors, which are V_out vertices.
+	eng.Out[v].Append(bitpack.Pack(r, 0, 1))
+	s.visit(v, 0, 1)
+	for _, u := range gb.In(v) {
+		if ord.Rank(int(u)) > r {
+			s.visit(int(u), 1, 1)
+			s.queue = append(s.queue, u)
+		}
+	}
+	for head := 0; head < len(s.queue); head++ {
+		w := int(s.queue[head])
+		dw := int(s.d[w])
+		if dq := label.JoinDist(&eng.Out[w], &eng.In[v]); dq < dw {
+			continue
+		}
+		eng.Out[w].Append(bitpack.Pack(r, dw, s.c[w]))
+		if w == bipartite.Couple(v) {
+			// Distinction 4: the cycle entry. Label only Lout(v_out); the
+			// couple is the hub itself, and no shortest path to the hub
+			// can continue through it.
+			continue
+		}
+		wi := bipartite.Couple(w)
+		eng.Out[wi].Append(bitpack.Pack(r, dw+1, s.c[w]))
+		s.visit(wi, int32(dw+1), s.c[w])
+		for _, wn := range gb.In(wi) {
+			switch {
+			case s.d[wn] == -1:
+				if ord.Rank(int(wn)) > r {
+					s.visit(int(wn), int32(dw+2), s.c[wi])
+					s.queue = append(s.queue, wn)
+				}
+			case int(s.d[wn]) == dw+2:
+				s.c[wn] = bitpack.SatAdd(s.c[wn], s.c[wi])
+			}
+		}
+	}
+}
+
+// CycleCount answers SCCnt(v): the length of the shortest cycles through v
+// in the original graph and their number, or (bfscount.NoCycle, 0) when v
+// lies on no cycle. The evaluation is a single merge-join of Lout(v_out)
+// and Lin(v_in) (§IV-D); the Gb distance d maps to cycle length (d+1)/2.
+func (x *Index) CycleCount(v int) (length int, count uint64) {
+	d, c := x.eng.CountPaths(bipartite.OutVertex(v), bipartite.InVertex(v))
+	if d == pll.Unreachable {
+		return bfscount.NoCycle, 0
+	}
+	return bipartite.CycleLength(d), c
+}
+
+// InsertEdge applies an edge insertion on the original graph and maintains
+// the Gb labeling with INCCNT.
+func (x *Index) InsertEdge(a, b int) (pll.UpdateStats, error) {
+	if err := x.g.AddEdge(a, b); err != nil {
+		return pll.UpdateStats{}, err
+	}
+	ga, gbv := bipartite.ConvertEdge(a, b)
+	return x.eng.InsertEdge(ga, gbv)
+}
+
+// DeleteEdge applies an edge deletion on the original graph and repairs
+// the Gb labeling.
+func (x *Index) DeleteEdge(a, b int) (pll.UpdateStats, error) {
+	if err := x.g.RemoveEdge(a, b); err != nil {
+		return pll.UpdateStats{}, err
+	}
+	ga, gbv := bipartite.ConvertEdge(a, b)
+	return x.eng.DeleteEdge(ga, gbv)
+}
+
+// Graph returns the original graph. Callers must not mutate it directly.
+func (x *Index) Graph() *graph.Digraph { return x.g }
+
+// Engine exposes the underlying Gb labeling (tests, serialization, stats).
+func (x *Index) Engine() *pll.Index { return x.eng }
+
+// EntryCount returns the total number of label entries over Gb.
+func (x *Index) EntryCount() int { return x.eng.EntryCount() }
+
+// Bytes returns the unreduced label footprint (8 bytes per entry).
+func (x *Index) Bytes() int { return x.eng.Bytes() }

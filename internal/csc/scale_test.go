@@ -1,0 +1,42 @@
+package csc
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/order"
+)
+
+// Regression test for V_out-hub accretion: a single high-degree deletion
+// on the G04 analog must leave the maintained index *identical in size*
+// to a fresh rebuild (the dynamic algorithms honor the hub filter).
+// Skipped in -short mode — it builds a 2500-vertex index twice.
+func TestDeletionMatchesRebuildAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full G04-analog indexes")
+	}
+	g := gen.ErdosRenyi(gen.Config{N: 2500, M: 10000, Seed: 104, NoReciprocal: true})
+	edges := g.Edges()
+	groups := cluster.Edges(g, edges)
+	var e [2]int
+	for ci := 0; ci < 5; ci++ {
+		if len(groups[ci]) > 0 {
+			e = groups[ci][0] // a highest-cluster edge
+			break
+		}
+	}
+	ord := order.ByDegree(g)
+	x, _ := Build(g.Clone(), ord, Options{})
+	if _, err := x.DeleteEdge(e[0], e[1]); err != nil {
+		t.Fatal(err)
+	}
+	g2 := g.Clone()
+	if err := g2.RemoveEdge(e[0], e[1]); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := Build(g2, ord, Options{})
+	if got, want := x.EntryCount(), fresh.EntryCount(); got != want {
+		t.Fatalf("maintained %d entries vs fresh %d (drift %+d)", got, want, got-want)
+	}
+}

@@ -1,0 +1,46 @@
+package csc
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/pll"
+)
+
+// WriteTo serializes the index (the Gb labeling is self-contained; the
+// original graph is reconstructed on load from the conversion structure).
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	return x.eng.WriteTo(w)
+}
+
+// Read deserializes an index written by WriteTo and reconstructs the
+// original graph from the bipartite conversion.
+func Read(r io.Reader) (*Index, error) {
+	eng, err := pll.ReadIndex(r)
+	if err != nil {
+		return nil, err
+	}
+	eng.HubFilter = bipartite.IsIn // functions do not serialize; re-install
+	gb := eng.G
+	if gb.NumVertices()%2 != 0 {
+		return nil, fmt.Errorf("%w: odd vertex count, not a bipartite conversion", pll.ErrBadFormat)
+	}
+	n := gb.NumVertices() / 2
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		if !gb.HasEdge(bipartite.InVertex(v), bipartite.OutVertex(v)) {
+			return nil, fmt.Errorf("%w: missing couple edge for %d", pll.ErrBadFormat, v)
+		}
+		for _, w := range gb.Out(bipartite.OutVertex(v)) {
+			if !bipartite.IsIn(int(w)) {
+				return nil, fmt.Errorf("%w: V_out vertex links to V_out", pll.ErrBadFormat)
+			}
+			if err := g.AddEdge(v, bipartite.Original(int(w))); err != nil {
+				return nil, fmt.Errorf("%w: %v", pll.ErrBadFormat, err)
+			}
+		}
+	}
+	return &Index{g: g, eng: eng}, nil
+}

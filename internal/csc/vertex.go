@@ -1,0 +1,59 @@
+package csc
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+)
+
+// AddVertex grows the indexed graph by one isolated vertex and returns its
+// id. In the bipartite conversion this appends the couple (v_in, v_out) at
+// the two lowest ranks with the couple edge and the labels the
+// construction would have produced for an isolated couple:
+//
+//	Lin(v_in)  = {(v_in,0,1)}        Lout(v_in)  = {(v_in,0,1)}
+//	Lin(v_out) = {(v_in,1,1), self}  Lout(v_out) = {(v_out,0,1)}
+func (x *Index) AddVertex() (int, error) {
+	v := x.g.AddVertex()
+	vi, err := x.eng.AddVertex()
+	if err != nil {
+		return 0, err
+	}
+	vo, err := x.eng.AddVertex()
+	if err != nil {
+		return 0, err
+	}
+	if vi != bipartite.InVertex(v) || vo != bipartite.OutVertex(v) {
+		return 0, fmt.Errorf("csc: bipartite id drift for vertex %d", v)
+	}
+	if err := x.eng.G.AddEdge(vi, vo); err != nil {
+		return 0, err
+	}
+	// Couple rule: (v_in, 1, 1) ∈ Lin(v_out). The couple edge is the only
+	// path touching the fresh couple, so no other label changes.
+	x.eng.SetInEntry(vo, x.eng.Ord.Rank(vi), 1, 1)
+	return v, nil
+}
+
+// DetachVertex removes every incident edge of v (both directions) through
+// maintained deletions, leaving v isolated. Vertex ids stay dense and are
+// never recycled — the paper models vertex removal exactly this way, as a
+// series of edge deletions.
+func (x *Index) DetachVertex(v int) (int, error) {
+	removed := 0
+	out := append([]int32(nil), x.g.Out(v)...)
+	for _, w := range out {
+		if _, err := x.DeleteEdge(v, int(w)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	in := append([]int32(nil), x.g.In(v)...)
+	for _, w := range in {
+		if _, err := x.DeleteEdge(int(w), v); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}

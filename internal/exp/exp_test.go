@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 9 {
+		t.Fatalf("registry has %d datasets, want 9", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset %s", d.Name)
+		}
+		names[d.Name] = true
+		g := d.Build(Tiny)
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty tiny build", d.Name)
+		}
+	}
+	if _, err := DatasetByName("G04"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"tiny", "small", "full"} {
+		sc, err := ParseScale(s)
+		if err != nil || sc.String() != s {
+			t.Errorf("ParseScale(%q) = %v, %v", s, sc, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows := Table4(Tiny)
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := WriteTable4(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "G04") {
+		t.Fatal("table missing dataset name")
+	}
+}
+
+func TestFig9SmallestDataset(t *testing.T) {
+	d, _ := DatasetByName("G04")
+	row := Fig9(Tiny, d)
+	if row.HPTime <= 0 || row.CSCTime <= 0 {
+		t.Fatalf("timings not positive: %+v", row)
+	}
+	if row.HPBytes == 0 || row.CSCBytes == 0 {
+		t.Fatalf("sizes not positive: %+v", row)
+	}
+	// §VI-B2: the reduced CSC index should be within a small factor of
+	// HP-SPC, not a 2x blowup despite Gb doubling the vertices.
+	ratio := float64(row.CSCBytes) / float64(row.HPBytes)
+	if ratio > 1.8 || ratio < 0.4 {
+		t.Fatalf("size ratio %0.2f far from parity: %+v", ratio, row)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig9(&buf, []BuildRow{row}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10AgreementAndShape(t *testing.T) {
+	d, _ := DatasetByName("EME")
+	res, err := Fig10(Tiny, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, row := range res.Rows {
+		total += row.Queries
+	}
+	if total == 0 {
+		t.Fatal("no queries ran")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig10(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "High") {
+		t.Fatal("missing cluster names")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	d, _ := DatasetByName("G04")
+	row := Fig11(Tiny, d, false)
+	if row.Updates == 0 || row.RedundancyAvg <= 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+	if row.MinimalityAvg <= 0 {
+		t.Fatalf("minimality not measured: %+v", row)
+	}
+	// §VI-C1: minimality must be substantially slower than redundancy.
+	if row.MinimalityAvg < row.RedundancyAvg {
+		t.Logf("warning: minimality (%v) not slower than redundancy (%v) at tiny scale",
+			row.MinimalityAvg, row.RedundancyAvg)
+	}
+	skipped := Fig11(Tiny, d, true)
+	if !skipped.MinimalitySkipped || skipped.MinimalityAvg != 0 {
+		t.Fatalf("skip flag ignored: %+v", skipped)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig11(&buf, []UpdateRow{row, skipped}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12(Tiny)
+	edges := 0
+	for _, r := range rows {
+		edges += r.Edges
+	}
+	if edges == 0 {
+		t.Fatal("no deletions ran")
+	}
+	var buf bytes.Buffer
+	if err := WriteFig12(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseStudyRecoversCriminals(t *testing.T) {
+	res := CaseStudy(Tiny)
+	if !res.Recovered {
+		t.Fatalf("planted criminals not recovered: top=%v", res.Top)
+	}
+	if len(res.Top) == 0 {
+		t.Fatal("empty ranking")
+	}
+	var buf bytes.Buffer
+	if err := WriteCase(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "true") {
+		t.Fatal("ranking table missing planted accounts")
+	}
+}
+
+func TestScalingGrowsSlowly(t *testing.T) {
+	rows := Scaling([]int{200, 400, 800})
+	if len(rows) != 3 {
+		t.Fatal("rows missing")
+	}
+	// Entries per vertex should grow sub-linearly: less than 3x over a 4x
+	// size increase.
+	if rows[2].EntriesPerVertex > 3*rows[0].EntriesPerVertex {
+		t.Fatalf("label growth superlinear: %+v", rows)
+	}
+	var buf bytes.Buffer
+	if err := WriteScaling(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	d, _ := DatasetByName("G04")
+	rows := AblationOrdering(Tiny, d)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]OrderingRow{}
+	for _, r := range rows {
+		if r.Entries == 0 || r.BuildTime <= 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+		byName[r.Ordering] = r
+	}
+	// Degree ordering should never produce a larger index than random —
+	// that's the whole point of the heuristic.
+	if byName["degree"].Entries > byName["random"].Entries {
+		t.Errorf("degree ordering (%d entries) worse than random (%d)",
+			byName["degree"].Entries, byName["random"].Entries)
+	}
+	var buf bytes.Buffer
+	if err := WriteOrdering(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationConstruction(t *testing.T) {
+	d, _ := DatasetByName("G04")
+	row := AblationConstruction(Tiny, d)
+	if !row.EntriesIdentical {
+		t.Fatalf("constructions diverged: %+v", row)
+	}
+	var buf bytes.Buffer
+	if err := WriteAblation(&buf, []AblationRow{row}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fmtBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// WriteTable4 renders the dataset statistics table (Table IV analog).
+func WriteTable4(w io.Writer, rows []StatsRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Graph\tn\tm\tgenerator\tpaper original")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\n", r.Name, r.N, r.M, r.Kind, r.Paper)
+	}
+	return tw.Flush()
+}
+
+// WriteFig9 renders index construction time and size (Figure 9 analog).
+func WriteFig9(w io.Writer, rows []BuildRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Graph\tHP-SPC time\tCSC time\tHP-SPC size\tCSC size\tsize ratio")
+	for _, r := range rows {
+		ratio := float64(r.CSCBytes) / float64(r.HPBytes)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.3f\n",
+			r.Dataset, fmtDur(r.HPTime), fmtDur(r.CSCTime),
+			fmtBytes(r.HPBytes), fmtBytes(r.CSCBytes), ratio)
+	}
+	return tw.Flush()
+}
+
+// WriteFig10 renders per-cluster query times for one dataset (one
+// sub-figure of Figure 10).
+func WriteFig10(w io.Writer, res QueryResult) error {
+	fmt.Fprintf(w, "Query time, %s (average per SCCnt query)\n", res.Dataset)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Cluster\tqueries\tBFS\tHP-SPC\tCSC\tCSC speedup vs HP-SPC")
+	for _, row := range res.Rows {
+		speed := "-"
+		if row.CSC > 0 && row.HPSPC > 0 {
+			speed = fmt.Sprintf("%.1fx", float64(row.HPSPC)/float64(row.CSC))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
+			row.Cluster, row.Queries, fmtDur(row.BFS), fmtDur(row.HPSPC),
+			fmtDur(row.CSC), speed)
+	}
+	return tw.Flush()
+}
+
+// WriteFig11 renders incremental update costs (Figure 11 analog).
+func WriteFig11(w io.Writer, rows []UpdateRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Graph\tinsertions\tredundancy avg\tminimality avg\tslowdown\tentries/insert (red.)\tentries/insert (min.)")
+	for _, r := range rows {
+		minAvg, slow, minGrow := "-", "-", "-"
+		if !r.MinimalitySkipped {
+			minAvg = fmtDur(r.MinimalityAvg)
+			if r.RedundancyAvg > 0 {
+				slow = fmt.Sprintf("%.0fx", float64(r.MinimalityAvg)/float64(r.RedundancyAvg))
+			}
+			minGrow = fmt.Sprintf("%.1f", r.MinimalityGrowth)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%.1f\t%s\n",
+			r.Dataset, r.Updates, fmtDur(r.RedundancyAvg), minAvg, slow,
+			r.RedundancyGrowth, minGrow)
+	}
+	return tw.Flush()
+}
+
+// WriteFig12 renders decremental update costs by edge-degree cluster
+// (Figure 12 analog, G04).
+func WriteFig12(w io.Writer, rows [5]DeleteRow) error {
+	fmt.Fprintln(w, "Decremental maintenance, G04 analog (by edge degree)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Cluster\tedges\tavg update time\tavg entries removed\tavg net change\tavg vertices visited")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.1f\t%+.1f\t%.1f\n",
+			r.Cluster, r.Edges, fmtDur(r.AvgTime), r.AvgRemoved, r.AvgNet, r.AvgTouched)
+	}
+	return tw.Flush()
+}
+
+// WriteCase renders the case-study ranking (Figure 13 analog).
+func WriteCase(w io.Writer, res CaseResult) error {
+	fmt.Fprintf(w, "Planted criminal accounts: %v (recovered by SCCnt ranking: %v)\n",
+		res.Criminals, res.Recovered)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "rank\taccount\tshortest cycle len\tSCCnt\tplanted criminal")
+	for i, v := range res.Top {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\n", i+1, v.Vertex, v.Length, v.Count, v.Criminal)
+	}
+	return tw.Flush()
+}
+
+// WriteScaling renders the label-growth sweep (DESIGN E11).
+func WriteScaling(w io.Writer, rows []ScalingRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "n\tm\tentries/vertex\tbuild time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%s\n", r.N, r.M, r.EntriesPerVertex, fmtDur(r.BuildTime))
+	}
+	return tw.Flush()
+}
+
+// WriteOrdering renders the hub-ordering ablation.
+func WriteOrdering(w io.Writer, rows []OrderingRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Graph\tordering\tbuild time\tlabel entries\tavg query")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.0fns\n",
+			r.Dataset, r.Ordering, fmtDur(r.BuildTime), r.Entries, r.QueryNs)
+	}
+	return tw.Flush()
+}
+
+// WriteAblation renders the construction ablation (DESIGN E12).
+func WriteAblation(w io.Writer, rows []AblationRow) error {
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Graph\tcouple-skipping\tgeneric engine\tspeedup\tidentical labels")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2fx\t%v\n",
+			r.Dataset, fmtDur(r.SkippingTime), fmtDur(r.GenericTime),
+			r.SkippingSpeedup, r.EntriesIdentical)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/csc"
+	"repro/internal/order"
+	"repro/internal/pll"
+)
+
+// OrderingRow compares hub-ordering strategies on one dataset — the
+// ablation behind the paper's (and all PLL literature's) choice of degree
+// ordering: a good ordering puts broad-coverage vertices first, which
+// prunes the construction BFSes early and shrinks every label list.
+type OrderingRow struct {
+	Dataset   string
+	Ordering  string
+	BuildTime time.Duration
+	Entries   int
+	QueryNs   float64 // average SCCnt evaluation, sampled
+}
+
+// AblationOrdering builds CSC under degree, id and random orderings.
+func AblationOrdering(s Scale, d Dataset) []OrderingRow {
+	g := d.Build(s)
+	n := g.NumVertices()
+	orders := []struct {
+		name string
+		ord  *order.Order
+	}{
+		{"degree", order.ByDegree(g)},
+		{"id", order.ByID(n)},
+		{"random", order.ByRandom(n, 99)},
+	}
+	var rows []OrderingRow
+	for _, o := range orders {
+		t0 := time.Now()
+		x, _ := csc.Build(g.Clone(), o.ord, csc.Options{Strategy: pll.Redundancy})
+		build := time.Since(t0)
+
+		sample := n
+		if sample > 2000 {
+			sample = 2000
+		}
+		t0 = time.Now()
+		for v := 0; v < sample; v++ {
+			x.CycleCount(v)
+		}
+		perQuery := float64(time.Since(t0).Nanoseconds()) / float64(sample)
+
+		rows = append(rows, OrderingRow{
+			Dataset:   d.Name,
+			Ordering:  o.name,
+			BuildTime: build,
+			Entries:   x.EntryCount(),
+			QueryNs:   perQuery,
+		})
+	}
+	return rows
+}

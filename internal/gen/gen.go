@@ -1,0 +1,250 @@
+// Package gen generates the synthetic directed graphs that stand in for
+// the paper's nine SNAP/Konect datasets (Table IV) and the MAHINDAS case
+// study. The environment is offline, so the real downloads are replaced
+// with deterministic generators that reproduce the structural features the
+// experiments are sensitive to: degree skew (query-time clustering),
+// reciprocity (shortest cycle lengths), and small-world diameters (update
+// locality). Every generator is a pure function of its parameters and
+// seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Config is shared by the random generators.
+type Config struct {
+	N    int   // number of vertices
+	M    int   // target number of edges (best effort; duplicates skipped)
+	Seed int64 // PRNG seed; same seed ⇒ same graph
+
+	// NoReciprocal suppresses 2-cycles (v⇄w), keeping shortest cycle
+	// lengths ≥ 3 as in the paper's cycle definition.
+	NoReciprocal bool
+}
+
+// ErdosRenyi draws M uniform random directed edges over N vertices.
+func ErdosRenyi(cfg Config) *graph.Digraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.N)
+	addRandomEdges(g, r, cfg.M, uniformPicker(cfg.N, r), cfg.NoReciprocal)
+	return g
+}
+
+// PowerLaw draws edges from a directed Chung-Lu model: endpoint
+// probabilities follow power laws with the given exponents (typical
+// social/web graphs sit between 2 and 3; smaller means heavier skew).
+// OutExp shapes source selection, InExp target selection.
+func PowerLaw(cfg Config, outExp, inExp float64) *graph.Digraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.N)
+	src := zipfPicker(cfg.N, outExp, r)
+	dst := zipfPicker(cfg.N, inExp, r)
+	addRandomEdgesBi(g, r, cfg.M, src, dst, cfg.NoReciprocal)
+	return g
+}
+
+// SmallWorld builds a directed ring lattice with k out-neighbors per
+// vertex and rewires each edge's target with probability p (a directed
+// Watts-Strogatz model): high clustering, short diameter.
+func SmallWorld(cfg Config, k int, p float64) *graph.Digraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.N)
+	for v := 0; v < cfg.N; v++ {
+		for j := 1; j <= k; j++ {
+			w := (v + j) % cfg.N
+			if r.Float64() < p {
+				w = r.Intn(cfg.N)
+			}
+			tryAdd(g, v, w, cfg.NoReciprocal)
+		}
+	}
+	return g
+}
+
+// Copy builds a web-like graph with the copy model: each new vertex
+// copies a random prototype's out-links with probability copyProb and
+// otherwise links to random earlier vertices, then adds a back-link with
+// probability backProb — producing the dense bow-tie communities and
+// reciprocity typical of web crawls.
+func Copy(cfg Config, outDeg int, copyProb, backProb float64) *graph.Digraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.N)
+	// Seed clique-ish core.
+	core := outDeg + 1
+	if core > cfg.N {
+		core = cfg.N
+	}
+	for v := 0; v < core; v++ {
+		for w := 0; w < core; w++ {
+			if v != w {
+				tryAdd(g, v, w, cfg.NoReciprocal)
+			}
+		}
+	}
+	for v := core; v < cfg.N; v++ {
+		proto := r.Intn(v)
+		links := 0
+		for _, u := range g.Out(proto) {
+			if links >= outDeg {
+				break
+			}
+			if r.Float64() < copyProb && int(u) != v {
+				if tryAdd(g, v, int(u), cfg.NoReciprocal) {
+					links++
+				}
+			}
+		}
+		for links < outDeg {
+			w := r.Intn(v)
+			if tryAdd(g, v, w, cfg.NoReciprocal) {
+				links++
+			} else if g.OutDegree(v) >= v {
+				break
+			}
+		}
+		if r.Float64() < backProb {
+			tryAdd(g, proto, v, cfg.NoReciprocal)
+		}
+	}
+	return g
+}
+
+// Star builds an email-like graph: a small set of hub vertices exchanges
+// mail with everyone, the long tail barely participates. hubFrac controls
+// the hub population share.
+func Star(cfg Config, hubFrac float64) *graph.Digraph {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.N)
+	hubs := int(math.Max(1, hubFrac*float64(cfg.N)))
+	pick := func() int {
+		// 70% of endpoints land on a hub.
+		if r.Float64() < 0.7 {
+			return r.Intn(hubs)
+		}
+		return r.Intn(cfg.N)
+	}
+	addRandomEdgesBi(g, r, cfg.M, pick, pick, cfg.NoReciprocal)
+	return g
+}
+
+func uniformPicker(n int, r *rand.Rand) func() int {
+	return func() int { return r.Intn(n) }
+}
+
+// zipfPicker returns vertices with probability ∝ (v+1)^-1/(exp-1) weights,
+// approximated by inverse-CDF sampling over precomputed cumulative
+// weights. Exponent exp > 1.
+func zipfPicker(n int, exp float64, r *rand.Rand) func() int {
+	w := make([]float64, n)
+	total := 0.0
+	alpha := 1.0 / (exp - 1.0)
+	for i := range w {
+		total += math.Pow(float64(i+1), -alpha)
+		w[i] = total
+	}
+	// The weight ordering correlates rank with popularity; relabel through
+	// a random permutation so vertex ids look arbitrary.
+	perm := r.Perm(n)
+	return func() int {
+		x := r.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if w[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return perm[lo]
+	}
+}
+
+func addRandomEdges(g *graph.Digraph, r *rand.Rand, m int, pick func() int, noRecip bool) {
+	addRandomEdgesBi(g, r, m, pick, pick, noRecip)
+}
+
+func addRandomEdgesBi(g *graph.Digraph, r *rand.Rand, m int, src, dst func() int, noRecip bool) {
+	attempts := 0
+	maxAttempts := 20 * m
+	for g.NumEdges() < m && attempts < maxAttempts {
+		attempts++
+		tryAdd(g, src(), dst(), noRecip)
+	}
+}
+
+func tryAdd(g *graph.Digraph, u, v int, noRecip bool) bool {
+	if u == v {
+		return false
+	}
+	if noRecip && g.HasEdge(v, u) {
+		return false
+	}
+	return g.AddEdge(u, v) == nil
+}
+
+// Transaction is the case-study network: a background payment graph with
+// planted money-laundering rings (Figure 1 / Figure 13). Criminal accounts
+// sit on many short cycles routed through middleman and agent accounts.
+type Transaction struct {
+	G *graph.Digraph
+	// Criminals lists the planted accounts whose SCCnt should stand out.
+	Criminals []int
+	// RingLen is the planted cycle length.
+	RingLen int
+}
+
+// TransactionNetwork plants `criminals` accounts, each on `rings` distinct
+// cycles of length ringLen, over an Erdős–Rényi background of n vertices
+// and m edges. Background edges never create cycles shorter than ringLen
+// through the planted accounts (best effort: the planted accounts take no
+// background edges at all).
+func TransactionNetwork(n, m, criminals, rings, ringLen int, seed int64) Transaction {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	tx := Transaction{G: g, RingLen: ringLen}
+	if ringLen < 2 {
+		ringLen = 3
+	}
+	// Reserve the first vertices: criminals, then ring intermediaries.
+	next := criminals
+	for c := 0; c < criminals; c++ {
+		tx.Criminals = append(tx.Criminals, c)
+		for k := 0; k < rings; k++ {
+			prev := c
+			for step := 0; step < ringLen-1; step++ {
+				mid := next
+				next++
+				if next > n {
+					panic("gen: transaction network too small for planted rings")
+				}
+				mustAddTx(g, prev, mid)
+				prev = mid
+			}
+			mustAddTx(g, prev, c)
+		}
+	}
+	// Background traffic among the remaining accounts only; reciprocal
+	// pairs are suppressed so no background account sits on a 2-cycle.
+	if next < n-1 {
+		for g.NumEdges() < m {
+			u := next + r.Intn(n-next)
+			v := next + r.Intn(n-next)
+			if u == v || g.HasEdge(v, u) {
+				continue
+			}
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return tx
+}
+
+func mustAddTx(g *graph.Digraph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err) // planted vertices are fresh, duplicates impossible
+	}
+}

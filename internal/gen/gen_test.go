@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/graph"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{N: 200, M: 800, Seed: 5}
+	builders := map[string]func() *graph.Digraph{
+		"er":   func() *graph.Digraph { return ErdosRenyi(cfg) },
+		"pl":   func() *graph.Digraph { return PowerLaw(cfg, 2.2, 2.0) },
+		"sw":   func() *graph.Digraph { return SmallWorld(cfg, 4, 0.1) },
+		"copy": func() *graph.Digraph { return Copy(cfg, 4, 0.6, 0.3) },
+		"star": func() *graph.Digraph { return Star(cfg, 0.02) },
+	}
+	for name, build := range builders {
+		a, b := build(), build()
+		if !graph.Equal(a, b) {
+			t.Errorf("%s: same seed produced different graphs", name)
+		}
+		if a.NumVertices() != cfg.N {
+			t.Errorf("%s: n = %d", name, a.NumVertices())
+		}
+		if a.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestEdgeTargetsApproximatelyMet(t *testing.T) {
+	for _, cfg := range []Config{
+		{N: 500, M: 2000, Seed: 1},
+		{N: 100, M: 400, Seed: 2},
+	} {
+		g := ErdosRenyi(cfg)
+		if g.NumEdges() != cfg.M {
+			t.Errorf("ER: m = %d, want %d", g.NumEdges(), cfg.M)
+		}
+		p := PowerLaw(cfg, 2.2, 2.0)
+		if p.NumEdges() < cfg.M/2 {
+			t.Errorf("PowerLaw: m = %d far below target %d", p.NumEdges(), cfg.M)
+		}
+	}
+}
+
+func TestNoReciprocal(t *testing.T) {
+	for _, g := range []*graph.Digraph{
+		ErdosRenyi(Config{N: 120, M: 700, Seed: 3, NoReciprocal: true}),
+		PowerLaw(Config{N: 120, M: 700, Seed: 3, NoReciprocal: true}, 2.1, 2.1),
+		SmallWorld(Config{N: 120, Seed: 3, NoReciprocal: true}, 5, 0.2),
+	} {
+		for _, e := range g.Edges() {
+			if g.HasEdge(e[1], e[0]) {
+				t.Fatalf("reciprocal pair %v survived NoReciprocal", e)
+			}
+		}
+	}
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	cfg := Config{N: 1000, M: 5000, Seed: 7}
+	er := ErdosRenyi(cfg)
+	pl := PowerLaw(cfg, 2.0, 2.0)
+	if maxDegree(pl) <= maxDegree(er) {
+		t.Errorf("power law max degree %d not heavier than ER %d",
+			maxDegree(pl), maxDegree(er))
+	}
+}
+
+func maxDegree(g *graph.Digraph) int {
+	m := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestStarConcentratesDegree(t *testing.T) {
+	g := Star(Config{N: 1000, M: 5000, Seed: 4}, 0.01)
+	degrees := make([]int, g.NumVertices())
+	for v := range degrees {
+		degrees[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degrees)))
+	top := 0
+	for _, d := range degrees[:10] {
+		top += d
+	}
+	if top < g.NumEdges()/2 {
+		t.Errorf("top-10 vertices carry only %d of %d edge endpoints", top, 2*g.NumEdges())
+	}
+}
+
+func TestTransactionNetworkPlantsRings(t *testing.T) {
+	tx := TransactionNetwork(500, 1000, 3, 4, 4, 11)
+	if len(tx.Criminals) != 3 {
+		t.Fatalf("criminals = %v", tx.Criminals)
+	}
+	for _, c := range tx.Criminals {
+		l, cnt := bfscount.CycleCount(tx.G, c)
+		if l != 4 {
+			t.Fatalf("criminal %d shortest cycle length %d, want 4", c, l)
+		}
+		if cnt != 4 {
+			t.Fatalf("criminal %d SCCnt = %d, want 4 planted rings", c, cnt)
+		}
+	}
+	// Background accounts must not accidentally beat the planted accounts
+	// on count at the planted length or shorter.
+	for v := 100; v < 120; v++ {
+		l, cnt := bfscount.CycleCount(tx.G, v)
+		if l != bfscount.NoCycle && l <= tx.RingLen && cnt >= 4 {
+			t.Fatalf("background vertex %d rivals planted rings: (%d,%d)", v, l, cnt)
+		}
+	}
+}
+
+func TestTransactionNetworkTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for undersized network")
+		}
+	}()
+	TransactionNetwork(5, 10, 3, 4, 5, 1)
+}
+
+func TestCopyModelReciprocity(t *testing.T) {
+	g := Copy(Config{N: 400, M: 0, Seed: 9}, 5, 0.5, 0.5)
+	recip := 0
+	for _, e := range g.Edges() {
+		if g.HasEdge(e[1], e[0]) {
+			recip++
+		}
+	}
+	if recip == 0 {
+		t.Error("copy model with backProb produced no reciprocal edges")
+	}
+}

@@ -1,0 +1,283 @@
+// Package graph provides the dynamic directed-graph substrate the index
+// is built on: adjacency lists with O(deg) edge insertion and deletion, a
+// reverse view, and plain-text edge-list I/O.
+//
+// Vertices are dense integers [0, N). The paper's graphs are directed and
+// self-loop free (§VI-A), so AddEdge rejects self-loops; parallel edges are
+// rejected as well since the algorithms treat E as a set.
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Common errors returned by edge mutations.
+var (
+	ErrSelfLoop       = errors.New("graph: self-loops are not allowed")
+	ErrVertexRange    = errors.New("graph: vertex out of range")
+	ErrDuplicateEdge  = errors.New("graph: edge already exists")
+	ErrMissingEdge    = errors.New("graph: edge does not exist")
+	ErrMalformedInput = errors.New("graph: malformed edge list")
+)
+
+// Digraph is a mutable directed graph over vertices 0..n-1.
+// The zero value is an empty graph with no vertices.
+type Digraph struct {
+	out [][]int32
+	in  [][]int32
+	m   int
+}
+
+// New returns an empty directed graph with n vertices and no edges.
+func New(n int) *Digraph {
+	return &Digraph{
+		out: make([][]int32, n),
+		in:  make([][]int32, n),
+	}
+}
+
+// FromEdges builds a graph with n vertices and the given (u,v) edge pairs.
+// It fails fast on the first invalid edge.
+func FromEdges(n int, edges [][2]int) (*Digraph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("edge (%d,%d): %w", e[0], e[1], err)
+		}
+	}
+	return g, nil
+}
+
+// NumVertices returns the number of vertices.
+func (g *Digraph) NumVertices() int { return len(g.out) }
+
+// AddVertex appends a fresh isolated vertex and returns its id.
+func (g *Digraph) AddVertex() int {
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return len(g.out) - 1
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Digraph) NumEdges() int { return g.m }
+
+// OutDegree returns |nbr_out(v)|.
+func (g *Digraph) OutDegree(v int) int { return len(g.out[v]) }
+
+// InDegree returns |nbr_in(v)|.
+func (g *Digraph) InDegree(v int) int { return len(g.in[v]) }
+
+// Degree returns the paper's degree(v): in-degree plus out-degree.
+func (g *Digraph) Degree(v int) int { return len(g.out[v]) + len(g.in[v]) }
+
+// MinInOutDegree returns min(|nbr_in(v)|, |nbr_out(v)|), the quantity the
+// paper clusters query vertices by (§VI-A).
+func (g *Digraph) MinInOutDegree(v int) int {
+	if len(g.in[v]) < len(g.out[v]) {
+		return len(g.in[v])
+	}
+	return len(g.out[v])
+}
+
+// Out returns the out-neighbor slice of v. The slice is owned by the graph
+// and must not be mutated or retained across mutations.
+func (g *Digraph) Out(v int) []int32 { return g.out[v] }
+
+// In returns the in-neighbor slice of v with the same aliasing caveat as Out.
+func (g *Digraph) In(v int) []int32 { return g.in[v] }
+
+// HasEdge reports whether the directed edge (u,v) exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	if !g.valid(u) || !g.valid(v) {
+		return false
+	}
+	// Scan the smaller of u's out-list and v's in-list.
+	if len(g.out[u]) <= len(g.in[v]) {
+		return contains(g.out[u], int32(v))
+	}
+	return contains(g.in[v], int32(u))
+}
+
+func contains(s []int32, x int32) bool {
+	for _, y := range s {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Digraph) valid(v int) bool { return v >= 0 && v < len(g.out) }
+
+// AddEdge inserts the directed edge (u,v).
+func (g *Digraph) AddEdge(u, v int) error {
+	if !g.valid(u) || !g.valid(v) {
+		return ErrVertexRange
+	}
+	if u == v {
+		return ErrSelfLoop
+	}
+	if g.HasEdge(u, v) {
+		return ErrDuplicateEdge
+	}
+	g.out[u] = append(g.out[u], int32(v))
+	g.in[v] = append(g.in[v], int32(u))
+	g.m++
+	return nil
+}
+
+// RemoveEdge deletes the directed edge (u,v).
+func (g *Digraph) RemoveEdge(u, v int) error {
+	if !g.valid(u) || !g.valid(v) {
+		return ErrVertexRange
+	}
+	ok1 := removeOne(&g.out[u], int32(v))
+	if !ok1 {
+		return ErrMissingEdge
+	}
+	removeOne(&g.in[v], int32(u))
+	g.m--
+	return nil
+}
+
+func removeOne(s *[]int32, x int32) bool {
+	list := *s
+	for i, y := range list {
+		if y == x {
+			list[i] = list[len(list)-1]
+			*s = list[:len(list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all directed edges as (u,v) pairs in out-adjacency order.
+func (g *Digraph) Edges() [][2]int {
+	edges := make([][2]int, 0, g.m)
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			edges = append(edges, [2]int{u, int(v)})
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := &Digraph{
+		out: make([][]int32, len(g.out)),
+		in:  make([][]int32, len(g.in)),
+		m:   g.m,
+	}
+	for v := range g.out {
+		if len(g.out[v]) > 0 {
+			c.out[v] = append([]int32(nil), g.out[v]...)
+		}
+		if len(g.in[v]) > 0 {
+			c.in[v] = append([]int32(nil), g.in[v]...)
+		}
+	}
+	return c
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := &Digraph{
+		out: make([][]int32, len(g.out)),
+		in:  make([][]int32, len(g.in)),
+		m:   g.m,
+	}
+	for v := range g.out {
+		if len(g.in[v]) > 0 {
+			r.out[v] = append([]int32(nil), g.in[v]...)
+		}
+		if len(g.out[v]) > 0 {
+			r.in[v] = append([]int32(nil), g.out[v]...)
+		}
+	}
+	return r
+}
+
+// WriteEdgeList writes the graph as "n m" followed by one "u v" line per
+// edge — the same plain format SNAP distributes.
+func (g *Digraph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Lines starting
+// with '#' are comments. Self-loops and duplicates in the input are skipped
+// rather than rejected, matching how the paper's datasets are cleaned.
+func ReadEdgeList(r io.Reader) (*Digraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Digraph
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			return nil, fmt.Errorf("%w: %q", ErrMalformedInput, line)
+		}
+		a, err1 := strconv.Atoi(f[0])
+		b, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: %q", ErrMalformedInput, line)
+		}
+		if g == nil {
+			if a < 0 || b < 0 {
+				return nil, fmt.Errorf("%w: negative header", ErrMalformedInput)
+			}
+			g = New(a)
+			continue
+		}
+		err := g.AddEdge(a, b)
+		if err != nil && !errors.Is(err, ErrSelfLoop) && !errors.Is(err, ErrDuplicateEdge) {
+			return nil, fmt.Errorf("edge (%d,%d): %w", a, b, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("%w: empty input", ErrMalformedInput)
+	}
+	return g, nil
+}
+
+// Equal reports whether two graphs have identical vertex counts and edge
+// sets (adjacency order is ignored).
+func Equal(a, b *Digraph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		if len(a.out[u]) != len(b.out[u]) {
+			return false
+		}
+		for _, v := range a.out[u] {
+			if !contains(b.out[u], v) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package hpspc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/pll"
+	"repro/internal/testgraphs"
+)
+
+func buildFig2(t testing.TB) *Index {
+	t.Helper()
+	g := testgraphs.Figure2()
+	h, _ := Build(g, order.ByDegree(g), pll.Redundancy)
+	return h
+}
+
+func TestPaperExample3(t *testing.T) {
+	h := buildFig2(t)
+	// Example 3: SCCnt(v7) via in-neighbors {v4,v5,v6} = 2+1 = 3, length 6.
+	l, c := h.CycleCount(6)
+	if l != 6 || c != 3 {
+		t.Fatalf("SCCnt(v7) = (%d,%d), want (6,3)", l, c)
+	}
+}
+
+func TestSelfPairReturnsZeroDistance(t *testing.T) {
+	// §III-A motivation: SPCnt(v,v) degenerates to the empty path, so a
+	// plain self query cannot answer cycle counting.
+	h := buildFig2(t)
+	d, c := h.CountPaths(0, 0)
+	if d != 0 || c != 1 {
+		t.Fatalf("SPCnt(v1,v1) = (%d,%d), want (0,1)", d, c)
+	}
+}
+
+func TestCycleCountMatchesBFSOnFixtures(t *testing.T) {
+	for _, g := range []*graph.Digraph{
+		testgraphs.Figure2(),
+		testgraphs.Triangle(),
+		testgraphs.TwoCycle(),
+		testgraphs.DiamondCycles(),
+		testgraphs.DAG(),
+	} {
+		h, _ := Build(g.Clone(), order.ByDegree(g), pll.Redundancy)
+		for v := 0; v < g.NumVertices(); v++ {
+			wl, wc := bfscount.CycleCount(g, v)
+			gl, gc := h.CycleCount(v)
+			if gl != wl || gc != wc {
+				t.Fatalf("SCCnt(%d) = (%d,%d), want (%d,%d)", v, gl, gc, wl, wc)
+			}
+		}
+	}
+}
+
+func TestCycleCountMatchesBFSRandomWithUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := 16
+	g := graph.New(n)
+	for i := 0; i < n*2; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	h, _ := Build(g, order.ByDegree(g), pll.Redundancy)
+	check := func(ctx string) {
+		t.Helper()
+		for v := 0; v < n; v++ {
+			wl, wc := bfscount.CycleCount(g, v)
+			gl, gc := h.CycleCount(v)
+			if gl != wl || gc != wc {
+				t.Fatalf("%s: SCCnt(%d) = (%d,%d), want (%d,%d)", ctx, v, gl, gc, wl, wc)
+			}
+		}
+	}
+	check("build")
+	for k := 0; k < 40; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if _, err := h.DeleteEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := h.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("update")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	h := buildFig2(t)
+	if h.EntryCount() == 0 || h.Bytes() != 8*h.EntryCount() {
+		t.Fatalf("stats: %d entries, %d bytes", h.EntryCount(), h.Bytes())
+	}
+	if h.Graph().NumVertices() != 10 {
+		t.Fatal("graph accessor broken")
+	}
+	if h.Engine() == nil {
+		t.Fatal("engine accessor broken")
+	}
+}

@@ -1,0 +1,158 @@
+// Package label provides the hub-label lists used by both the HP-SPC
+// baseline and the CSC index: slices of 64-bit packed entries kept sorted
+// by hub rank, so the SPCnt query (Equations 1-2 of the paper) is a single
+// linear merge-join of an out-list and an in-list.
+package label
+
+import (
+	"sort"
+
+	"repro/internal/bitpack"
+)
+
+// Unreachable is the distance returned by Join when the two lists share no
+// hub (no path exists under the index).
+const Unreachable = int(bitpack.MaxDist)
+
+// List is a label list: packed entries in strictly ascending hub-rank
+// order. The zero value is an empty, ready-to-use list.
+type List struct {
+	e []bitpack.Entry
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.e) }
+
+// At returns the i-th entry in rank order.
+func (l *List) At(i int) bitpack.Entry { return l.e[i] }
+
+// Entries exposes the backing slice for read-only iteration.
+func (l *List) Entries() []bitpack.Entry { return l.e }
+
+// Lookup finds the entry with the given hub rank.
+func (l *List) Lookup(hub int) (bitpack.Entry, bool) {
+	i := l.search(hub)
+	if i < len(l.e) && l.e[i].Hub() == hub {
+		return l.e[i], true
+	}
+	return 0, false
+}
+
+func (l *List) search(hub int) int {
+	return sort.Search(len(l.e), func(i int) bool { return l.e[i].Hub() >= hub })
+}
+
+// Append adds an entry. Construction emits hubs in descending rank
+// priority, which is ascending rank *position*, so the common case is a
+// plain append; out-of-order hubs fall back to a sorted insert. Appending
+// an existing hub replaces its entry.
+func (l *List) Append(e bitpack.Entry) {
+	if n := len(l.e); n == 0 || l.e[n-1].Hub() < e.Hub() {
+		l.e = append(l.e, e)
+		return
+	}
+	l.Set(e)
+}
+
+// Set inserts e at its sorted position, replacing any entry with the same
+// hub. It reports whether a new entry was inserted (vs. replaced).
+func (l *List) Set(e bitpack.Entry) bool {
+	i := l.search(e.Hub())
+	if i < len(l.e) && l.e[i].Hub() == e.Hub() {
+		l.e[i] = e
+		return false
+	}
+	l.e = append(l.e, 0)
+	copy(l.e[i+1:], l.e[i:])
+	l.e[i] = e
+	return true
+}
+
+// Remove deletes the entry with the given hub rank, reporting whether one
+// existed.
+func (l *List) Remove(hub int) bool {
+	i := l.search(hub)
+	if i >= len(l.e) || l.e[i].Hub() != hub {
+		return false
+	}
+	l.e = append(l.e[:i], l.e[i+1:]...)
+	return true
+}
+
+// Clone returns an independent copy.
+func (l *List) Clone() List {
+	return List{e: append([]bitpack.Entry(nil), l.e...)}
+}
+
+// Reset empties the list, keeping capacity.
+func (l *List) Reset() { l.e = l.e[:0] }
+
+// Hubs returns the hub ranks present in the list.
+func (l *List) Hubs() []int {
+	hs := make([]int, len(l.e))
+	for i, e := range l.e {
+		hs[i] = e.Hub()
+	}
+	return hs
+}
+
+// Bytes returns the storage footprint of the list payload (8 bytes per
+// entry, the paper's 64-bit label encoding).
+func (l *List) Bytes() int { return 8 * len(l.e) }
+
+// Join evaluates Equations (1)-(2): it merge-joins an out-label list of s
+// and an in-label list of t over common hubs, returning the minimum
+// sd(s,h)+sd(h,t) and the saturating sum of count products at that
+// distance. When the lists share no hub it returns (Unreachable, 0).
+func Join(out, in *List) (dist int, count uint64) {
+	dist = Unreachable
+	i, j := 0, 0
+	oe, ie := out.e, in.e
+	for i < len(oe) && j < len(ie) {
+		ho, hi := oe[i].Hub(), ie[j].Hub()
+		switch {
+		case ho < hi:
+			i++
+		case ho > hi:
+			j++
+		default:
+			d := oe[i].Dist() + ie[j].Dist()
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(oe[i].Count(), ie[j].Count())
+			} else if d == dist {
+				count = bitpack.SatAdd(count, bitpack.SatMul(oe[i].Count(), ie[j].Count()))
+			}
+			i++
+			j++
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+// JoinDist is Join restricted to the distance; it still scans both lists
+// fully (the minimum can appear anywhere) but skips count arithmetic.
+func JoinDist(out, in *List) int {
+	dist := Unreachable
+	i, j := 0, 0
+	oe, ie := out.e, in.e
+	for i < len(oe) && j < len(ie) {
+		ho, hi := oe[i].Hub(), ie[j].Hub()
+		switch {
+		case ho < hi:
+			i++
+		case ho > hi:
+			j++
+		default:
+			if d := oe[i].Dist() + ie[j].Dist(); d < dist {
+				dist = d
+			}
+			i++
+			j++
+		}
+	}
+	return dist
+}

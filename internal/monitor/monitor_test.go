@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/csc"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+func build(t *testing.T, g *graph.Digraph, k int) *TopK {
+	t.Helper()
+	x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
+	return New(x, k)
+}
+
+// The scoreboard must equal a full re-query of every vertex after every
+// update — this is the test that proves the touched-owner set from the
+// engine covers all query changes.
+func TestScoreboardStaysExact(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(15)
+		g := graph.New(n)
+		for i := 0; i < n*2; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		m := build(t, g, 5)
+		for step := 0; step < 40; step++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			var err error
+			if g.HasEdge(u, v) {
+				err = m.DeleteEdge(u, v)
+			} else {
+				err = m.InsertEdge(u, v)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < n; w++ {
+				wl, wc := bfscount.CycleCount(g, w)
+				s := m.Score(w)
+				if wl == bfscount.NoCycle {
+					if s.Exists {
+						t.Fatalf("seed %d step %d: vertex %d stale score %+v, no cycle",
+							seed, step, w, s)
+					}
+					continue
+				}
+				if !s.Exists || s.Length != wl || s.Count != wc {
+					t.Fatalf("seed %d step %d: vertex %d score %+v, want (%d,%d)",
+						seed, step, w, s, wl, wc)
+				}
+			}
+		}
+	}
+}
+
+func TestTopMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := 30
+	g := graph.New(n)
+	for i := 0; i < n*3; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	m := build(t, g, 4)
+	for step := 0; step < 15; step++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if err := m.DeleteEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		top := m.Top()
+		if len(top) > 4 {
+			t.Fatalf("Top returned %d > k", len(top))
+		}
+		// Brute force: all scores, fully ordered.
+		var all []Score
+		for w := 0; w < n; w++ {
+			if s := m.Score(w); s.Exists {
+				all = append(all, s)
+			}
+		}
+		for i := range top {
+			best := all[0]
+			for _, s := range all[1:] {
+				if rankBefore(s, best) {
+					best = s
+				}
+			}
+			if top[i] != best {
+				t.Fatalf("step %d: Top[%d] = %+v, want %+v", step, i, top[i], best)
+			}
+			for j, s := range all {
+				if s == best {
+					all = append(all[:j], all[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestTopOnAcyclicGraph(t *testing.T) {
+	g := graph.New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	m := build(t, g, 3)
+	if top := m.Top(); len(top) != 0 {
+		t.Fatalf("acyclic Top = %v", top)
+	}
+	if err := m.InsertEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	top := m.Top()
+	if len(top) != 3 || !top[0].Exists || top[0].Length != 3 {
+		t.Fatalf("after closing cycle: %v", top)
+	}
+}

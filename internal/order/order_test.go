@@ -1,0 +1,107 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/testgraphs"
+)
+
+func TestFromVertexList(t *testing.T) {
+	o, err := FromVertexList([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Rank(2) != 0 || o.Rank(0) != 1 || o.Rank(1) != 2 {
+		t.Fatalf("ranks wrong: %d %d %d", o.Rank(2), o.Rank(0), o.Rank(1))
+	}
+	if o.VertexAt(0) != 2 || o.VertexAt(2) != 1 {
+		t.Fatal("VertexAt wrong")
+	}
+	if !o.Above(2, 1) || o.Above(1, 2) {
+		t.Fatal("Above wrong")
+	}
+}
+
+func TestFromVertexListRejectsBadInput(t *testing.T) {
+	if _, err := FromVertexList([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := FromVertexList([]int{0, 3}); err == nil {
+		t.Error("out of range accepted")
+	}
+	if _, err := FromVertexList([]int{0, -1}); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestByDegreeMatchesPaperExample4(t *testing.T) {
+	// Figure 2 graph; Example 4's degree order is
+	// v1 ≺ v7 ≺ v4 ≺ v10 ≺ v2 ≺ v3 ≺ v5 ≺ v6 ≺ v8 ≺ v9 (1-based).
+	g := testgraphs.Figure2()
+	o := ByDegree(g)
+	want := []int{0, 6, 3, 9, 1, 2, 4, 5, 7, 8} // zero-based
+	for r, v := range want {
+		if o.VertexAt(r) != v {
+			t.Fatalf("rank %d: got v%d, want v%d (full order %v)",
+				r, o.VertexAt(r)+1, v+1, dump(o))
+		}
+	}
+}
+
+func dump(o *Order) []int {
+	out := make([]int, o.Len())
+	for r := range out {
+		out[r] = o.VertexAt(r) + 1
+	}
+	return out
+}
+
+func TestByIDOrder(t *testing.T) {
+	o := ByID(5)
+	for v := 0; v < 5; v++ {
+		if o.Rank(v) != v {
+			t.Fatalf("ByID rank(%d) = %d", v, o.Rank(v))
+		}
+	}
+}
+
+// Property: ByDegree always yields a permutation with degrees non-increasing
+// along ranks.
+func TestByDegreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		g := graph.New(n)
+		for i := 0; i < n*2; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		o := ByDegree(g)
+		seen := make([]bool, n)
+		prev := int(^uint(0) >> 1)
+		for rk := 0; rk < n; rk++ {
+			v := o.VertexAt(rk)
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			d := g.Degree(v)
+			if d > prev {
+				return false
+			}
+			prev = d
+			if o.Rank(v) != rk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

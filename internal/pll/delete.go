@@ -1,0 +1,270 @@
+package pll
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bitpack"
+	"repro/internal/label"
+)
+
+// DeleteEdge removes edge (a,b) from the graph and repairs the index with
+// the paper's three-step decremental algorithm (§V-C):
+//
+//  1. identify the affected vertex sets using *pre-deletion* distances —
+//     SA = {v : sd(v,a)+1 = sd(v,b)} on the a side and
+//     SB = {u : sd(b,u)+1 = sd(a,u)} on the b side. Every label entry that
+//     can route through (a,b) links an SA vertex to an SB vertex, and its
+//     hub side additionally appears among the hubs of Lin(a) (sources) or
+//     Lout(b) (targets of out-entries), because the hub is the top-ranked
+//     vertex of the corresponding path prefix/suffix;
+//  2. delete every label entry linking hubA = hubs(Lin(a)) ∩ SA to SB and
+//     every entry linking SA to hubB = hubs(Lout(b)) ∩ SB — a superset of
+//     the out-of-date entries;
+//  3. re-run construction-style pruned counting BFSes forward from every
+//     SA vertex and backward from every SB vertex on G−, in descending
+//     rank order, re-inserting labels only for the affected counterpart
+//     set. (See the step-3 comment for why the repair set must be wider
+//     than the label hubs of a and b.)
+func (idx *Index) DeleteEdge(a, b int) (UpdateStats, error) {
+	start := time.Now()
+	var st UpdateStats
+
+	// Step 1 must see pre-deletion distances, so validate the edge first.
+	if !idx.G.HasEdge(a, b) {
+		return st, idx.G.RemoveEdge(a, b) // yields the canonical error
+	}
+	idx.ensureScratch()
+
+	distToA := idx.bfsDistances(a, false)
+	distToB := idx.bfsDistances(b, false)
+	distFromA := idx.bfsDistances(a, true)
+	distFromB := idx.bfsDistances(b, true)
+
+	n := idx.G.NumVertices()
+	inSA := make([]bool, n)
+	inSB := make([]bool, n)
+	var sa, sb []int32
+	for v := 0; v < n; v++ {
+		if distToA[v] >= 0 && distToA[v]+1 == distToB[v] {
+			inSA[v] = true
+			sa = append(sa, int32(v))
+		}
+		if distFromB[v] >= 0 && distFromB[v]+1 == distFromA[v] {
+			inSB[v] = true
+			sb = append(sb, int32(v))
+		}
+	}
+
+	// Affected hubs: rank sets restricted to the label hubs of a and b.
+	hubASet := make(map[int]bool)
+	for _, e := range idx.In[a].Entries() {
+		if v := idx.Ord.VertexAt(e.Hub()); inSA[v] {
+			hubASet[e.Hub()] = true
+		}
+	}
+	hubBSet := make(map[int]bool)
+	for _, e := range idx.Out[b].Entries() {
+		if v := idx.Ord.VertexAt(e.Hub()); inSB[v] {
+			hubBSet[e.Hub()] = true
+		}
+	}
+
+	if err := idx.G.RemoveEdge(a, b); err != nil {
+		return st, err
+	}
+
+	// Step 2: scan the labels of affected vertices and drop linking
+	// entries. Self entries are never dropped — no edge deletion can
+	// invalidate the empty path.
+	var drop []int
+	for _, y32 := range sb {
+		y := int(y32)
+		yRank := idx.Ord.Rank(y)
+		drop = drop[:0]
+		for _, e := range idx.In[y].Entries() {
+			if e.Hub() != yRank && hubASet[e.Hub()] {
+				drop = append(drop, e.Hub())
+			}
+		}
+		for _, h := range drop {
+			if idx.removeInEntry(y, h) {
+				st.EntriesRemoved++
+				st.touch(y)
+			}
+		}
+	}
+	for _, x32 := range sa {
+		x := int(x32)
+		xRank := idx.Ord.Rank(x)
+		drop = drop[:0]
+		for _, e := range idx.Out[x].Entries() {
+			if e.Hub() != xRank && hubBSet[e.Hub()] {
+				drop = append(drop, e.Hub())
+			}
+		}
+		for _, h := range drop {
+			if idx.removeOutEntry(x, h) {
+				st.EntriesRemoved++
+				st.touch(x)
+			}
+		}
+	}
+
+	// Step 3: repair in descending rank order so lower hubs' pruning
+	// queries see already-repaired higher entries, as in construction.
+	//
+	// The repair passes must run from *every* SA vertex forward and every
+	// SB vertex backward, not just from the label hubs of a and b: when a
+	// pair's distance grows, the new (longer) shortest paths can have a
+	// top-ranked vertex that had no pre-deletion label relationship with
+	// a or b — only the distance conditions defining SA/SB are guaranteed
+	// for it. (Stale-entry *removal* above may stay hub-restricted, since
+	// an invalidated entry's hub provably appears in Lin(a)/Lout(b).)
+	// Most passes die immediately under rank and distance pruning.
+	// A pass can only insert entries at counterpart vertices ranked below
+	// its hub, so hubs ranked below every counterpart are skipped.
+	lowestSA, lowestSB := -1, -1 // numerically largest rank in each set
+	repairA := make(map[int]bool, len(sa))
+	for _, v := range sa {
+		r := idx.Ord.Rank(int(v))
+		if r > lowestSA {
+			lowestSA = r
+		}
+		if idx.HubFilter != nil && !idx.HubFilter(int(v)) {
+			continue // never a hub; nothing of its could need repair
+		}
+		repairA[r] = true
+	}
+	repairB := make(map[int]bool, len(sb))
+	for _, v := range sb {
+		r := idx.Ord.Rank(int(v))
+		if r > lowestSB {
+			lowestSB = r
+		}
+		if idx.HubFilter != nil && !idx.HubFilter(int(v)) {
+			continue
+		}
+		repairB[r] = true
+	}
+	ranks := make([]int, 0, len(repairA)+len(repairB))
+	for r := range repairA {
+		ranks = append(ranks, r)
+	}
+	for r := range repairB {
+		if !repairA[r] {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	st.AffectedHubs = len(ranks)
+	for _, rk := range ranks {
+		if repairA[rk] && rk < lowestSB {
+			idx.repairPass(rk, true, inSB, &st)
+		}
+		if repairB[rk] && rk < lowestSA {
+			idx.repairPass(rk, false, inSA, &st)
+		}
+	}
+	st.Duration = time.Since(start)
+	return st, nil
+}
+
+// bfsDistances runs a plain BFS from src over out-edges (forward) or
+// in-edges (!forward) and returns the distance array (-1 = unreachable).
+func (idx *Index) bfsDistances(src int, forward bool) []int32 {
+	n := idx.G.NumVertices()
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		w := int(queue[head])
+		for _, u := range idx.neighbors(w, forward) {
+			if d[u] == -1 {
+				d[u] = d[w] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return d
+}
+
+// repairPass re-runs a construction-style pruned counting BFS from the hub
+// with rank vkRank on the post-deletion graph, inserting labels only for
+// vertices in the targets set. forward repairs in-labels over out-edges;
+// !forward repairs out-labels over in-edges.
+func (idx *Index) repairPass(vkRank int, forward bool, targets []bool, st *UpdateStats) {
+	vk := idx.Ord.VertexAt(vkRank)
+	d, c := idx.dist, idx.cnt
+	queue := idx.queue[:0]
+	touched := idx.touched[:0]
+
+	d[vk] = 0
+	c[vk] = 1
+	touched = append(touched, int32(vk))
+	for _, u := range idx.neighbors(vk, forward) {
+		if idx.Ord.Rank(int(u)) > vkRank {
+			d[u] = 1
+			c[u] = 1
+			queue = append(queue, u)
+			touched = append(touched, u)
+		}
+	}
+
+	for head := 0; head < len(queue); head++ {
+		w := int(queue[head])
+		st.Visited++
+		var dq int
+		if forward {
+			dq = label.JoinDist(&idx.Out[vk], &idx.In[w])
+		} else {
+			dq = label.JoinDist(&idx.Out[w], &idx.In[vk])
+		}
+		if dq < int(d[w]) {
+			continue // vk is not the highest rank on any shortest path
+		}
+		if targets[w] {
+			e := bitpack.Pack(vkRank, int(d[w]), c[w])
+			st.touch(w)
+			if forward {
+				if idx.In[w].Set(e) {
+					st.EntriesAdded++
+					idx.addInvIn(vkRank, w)
+				} else {
+					st.EntriesChanged++
+				}
+			} else {
+				if idx.Out[w].Set(e) {
+					st.EntriesAdded++
+					idx.addInvOut(vkRank, w)
+				} else {
+					st.EntriesChanged++
+				}
+			}
+		}
+		for _, u := range idx.neighbors(w, forward) {
+			switch {
+			case d[u] == -1:
+				if idx.Ord.Rank(int(u)) > vkRank {
+					d[u] = d[w] + 1
+					c[u] = c[w]
+					queue = append(queue, u)
+					touched = append(touched, u)
+				}
+			case d[u] == d[w]+1:
+				c[u] = bitpack.SatAdd(c[u], c[w])
+			}
+		}
+	}
+
+	for _, t := range touched {
+		d[t] = -1
+		c[t] = 0
+	}
+	idx.queue = queue[:0]
+	idx.touched = touched[:0]
+}

@@ -1,0 +1,82 @@
+package pll
+
+// The inverted indexes inv_in(·) and inv_out(·) of §V-A locate, for a hub
+// h, the vertices whose in-label (out-label) contains h. They are needed
+// only by the minimality strategy's CLEAN LABEL pass, so they are built
+// lazily on first use and kept in sync by the label-mutation helpers from
+// then on.
+
+// ensureInverted builds both inverted indexes from the current labels.
+func (idx *Index) ensureInverted() {
+	if idx.invIn != nil {
+		return
+	}
+	n := len(idx.In)
+	idx.invIn = make([]map[int32]struct{}, n)
+	idx.invOut = make([]map[int32]struct{}, n)
+	for v := range idx.In {
+		for _, e := range idx.In[v].Entries() {
+			idx.addInvIn(e.Hub(), v)
+		}
+		for _, e := range idx.Out[v].Entries() {
+			idx.addInvOut(e.Hub(), v)
+		}
+	}
+}
+
+func (idx *Index) addInvIn(hubRank, v int) {
+	if idx.invIn == nil {
+		return
+	}
+	m := idx.invIn[hubRank]
+	if m == nil {
+		m = make(map[int32]struct{})
+		idx.invIn[hubRank] = m
+	}
+	m[int32(v)] = struct{}{}
+}
+
+func (idx *Index) addInvOut(hubRank, v int) {
+	if idx.invOut == nil {
+		return
+	}
+	m := idx.invOut[hubRank]
+	if m == nil {
+		m = make(map[int32]struct{})
+		idx.invOut[hubRank] = m
+	}
+	m[int32(v)] = struct{}{}
+}
+
+func (idx *Index) delInvIn(hubRank, v int) {
+	if idx.invIn == nil || idx.invIn[hubRank] == nil {
+		return
+	}
+	delete(idx.invIn[hubRank], int32(v))
+}
+
+func (idx *Index) delInvOut(hubRank, v int) {
+	if idx.invOut == nil || idx.invOut[hubRank] == nil {
+		return
+	}
+	delete(idx.invOut[hubRank], int32(v))
+}
+
+// removeInEntry removes hub hubRank from In[v] keeping the inverted index
+// consistent; reports whether an entry existed.
+func (idx *Index) removeInEntry(v, hubRank int) bool {
+	if !idx.In[v].Remove(hubRank) {
+		return false
+	}
+	idx.delInvIn(hubRank, v)
+	return true
+}
+
+// removeOutEntry is the out-label counterpart of removeInEntry.
+func (idx *Index) removeOutEntry(v, hubRank int) bool {
+	if !idx.Out[v].Remove(hubRank) {
+		return false
+	}
+	idx.delInvOut(hubRank, v)
+	return true
+}

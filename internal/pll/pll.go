@@ -1,0 +1,291 @@
+// Package pll implements the generic pruned-landmark counting-label engine
+// that both indexes in the paper are instances of:
+//
+//   - the HP-SPC baseline (Zhang & Yu, SIGMOD'20; paper §II-B) is the
+//     engine applied to the original graph G with every vertex as a hub;
+//   - the CSC index (§IV) is the engine applied to the bipartite
+//     conversion Gb with only incoming vertices serving as hubs (the
+//     couple-vertex-skipping construction in internal/csc produces labels
+//     identical to this engine's — a property the tests assert).
+//
+// The engine covers construction under the Exact Shortest Path Covering
+// constraint with canonical and non-canonical labels, SPCnt queries
+// (Equations 1-2), the INCCNT incremental update (Algorithms 5-8) and the
+// three-step decremental repair (§V-C), under either the redundancy or the
+// minimality maintenance strategy (§V-B).
+//
+// An Index is not safe for concurrent mutation. Queries do not mutate and
+// may run concurrently with each other, but not with updates.
+package pll
+
+import (
+	"time"
+
+	"repro/internal/bitpack"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// Strategy selects how aggressively updates keep the label minimal (§V-B).
+type Strategy uint8
+
+const (
+	// Redundancy leaves dominated (out-of-date) label entries in place
+	// after updates. Queries stay correct because dominated entries never
+	// realize the minimum distance; updates are much faster. This is the
+	// strategy the paper recommends and uses for its largest graphs.
+	Redundancy Strategy = iota
+	// Minimality runs CLEAN LABEL (Algorithm 8) after label improvements,
+	// removing every redundant entry so Theorem V.3's minimality holds.
+	Minimality
+)
+
+func (s Strategy) String() string {
+	if s == Minimality {
+		return "minimality"
+	}
+	return "redundancy"
+}
+
+// Options configures Build.
+type Options struct {
+	// Strategy chooses the dynamic maintenance strategy.
+	Strategy Strategy
+	// HubFilter, when non-nil, restricts which vertices run hub BFSes.
+	// Filtered-out vertices still receive their own self labels. The CSC
+	// scheme uses this to make only V_in vertices hubs.
+	HubFilter func(v int) bool
+}
+
+// BuildStats summarizes a construction run.
+type BuildStats struct {
+	Entries      int           // total label entries across all lists
+	Canonical    int           // entries whose count is |SP(v,w)|
+	NonCanonical int           // entries counting a proper subset
+	Bytes        int           // 8 bytes per entry (64-bit packed encoding)
+	Duration     time.Duration // wall-clock construction time
+}
+
+// UpdateStats summarizes one InsertEdge/DeleteEdge maintenance run.
+type UpdateStats struct {
+	AffectedHubs   int // |hubA ∪ hubB|
+	Visited        int // vertices dequeued across all resumed BFSes
+	EntriesAdded   int // label entries newly inserted
+	EntriesChanged int // label entries replaced or count-accumulated
+	EntriesRemoved int // label entries deleted (step 2 + cleaning)
+	Duration       time.Duration
+
+	// TouchedOwners lists the vertices whose label lists were mutated
+	// (with duplicates). Everything a query could answer differently
+	// after the update involves at least one touched owner, so consumers
+	// like the top-K monitor re-score only these.
+	TouchedOwners []int32
+}
+
+func (st *UpdateStats) touch(v int) {
+	st.TouchedOwners = append(st.TouchedOwners, int32(v))
+}
+
+// Index is a 2-hop counting label over a directed graph.
+type Index struct {
+	G   *graph.Digraph
+	Ord *order.Order
+
+	// In[v] holds entries (h, sd(h,v), θ) — paths from hub h to v.
+	// Out[v] holds entries (h, sd(v,h), θ) — paths from v to hub h.
+	// Hub fields store rank positions under Ord.
+	In  []label.List
+	Out []label.List
+
+	Strategy Strategy
+
+	// HubFilter, when non-nil, marks which vertices may serve as hubs.
+	// Construction honors it via Options; the dynamic algorithms skip
+	// maintenance passes from filtered-out vertices, which keeps the label
+	// set aligned with what a fresh construction would produce. The CSC
+	// scheme filters to V_in: every covered pair's top-ranked vertex is a
+	// V_in vertex, so passes from V_out vertices could only ever create
+	// entries no query and no cover needs. Not serialized — the owner
+	// re-installs it after ReadIndex (see internal/csc.Read).
+	HubFilter func(v int) bool
+
+	// Inverted indexes for minimality cleaning (§V-A): invIn[h] lists the
+	// vertices whose in-label contains hub rank h; invOut[h] likewise for
+	// out-labels. Built lazily; nil until first needed.
+	invIn  []map[int32]struct{}
+	invOut []map[int32]struct{}
+
+	canonical    int
+	nonCanonical int
+
+	// Scratch state shared by all BFS passes.
+	dist    []int32
+	cnt     []uint64
+	queue   []int32
+	touched []int32
+}
+
+// NewEmpty allocates an index shell with self-label-free empty lists;
+// internal/csc uses it to run its own specialized construction.
+func NewEmpty(g *graph.Digraph, ord *order.Order) *Index {
+	n := g.NumVertices()
+	idx := &Index{
+		G:    g,
+		Ord:  ord,
+		In:   make([]label.List, n),
+		Out:  make([]label.List, n),
+		dist: make([]int32, n),
+		cnt:  make([]uint64, n),
+	}
+	for i := range idx.dist {
+		idx.dist[i] = -1
+	}
+	return idx
+}
+
+// Build constructs the full index with pruned counting BFSes in descending
+// rank order (the HP-SPC construction of §II-B generalized with a hub
+// filter).
+func Build(g *graph.Digraph, ord *order.Order, opts Options) (*Index, BuildStats) {
+	start := time.Now()
+	idx := NewEmpty(g, ord)
+	idx.Strategy = opts.Strategy
+	idx.HubFilter = opts.HubFilter
+	n := g.NumVertices()
+	for r := 0; r < n; r++ {
+		v := ord.VertexAt(r)
+		if opts.HubFilter != nil && !opts.HubFilter(v) {
+			self := bitpack.Pack(r, 0, 1)
+			idx.In[v].Append(self)
+			idx.Out[v].Append(self)
+			idx.canonical += 2
+			continue
+		}
+		idx.buildPass(v, r, true)
+		idx.buildPass(v, r, false)
+	}
+	st := idx.Stats()
+	st.Duration = time.Since(start)
+	return idx, st
+}
+
+// Stats recomputes size statistics from the current label lists.
+func (idx *Index) Stats() BuildStats {
+	var st BuildStats
+	for v := range idx.In {
+		st.Entries += idx.In[v].Len() + idx.Out[v].Len()
+	}
+	st.Bytes = 8 * st.Entries
+	st.Canonical = idx.canonical
+	st.NonCanonical = idx.nonCanonical
+	return st
+}
+
+// buildPass runs one pruned counting BFS from hub v (rank r). forward
+// labels in-labels over out-edges; !forward labels out-labels over
+// in-edges (the reverse graph).
+func (idx *Index) buildPass(v, r int, forward bool) {
+	d, c := idx.dist, idx.cnt
+	queue := idx.queue[:0]
+	touched := idx.touched[:0]
+
+	// Self label first (Alg 3's first dequeue): never pruned, since any
+	// alternative distance through a higher hub is a cycle of length ≥ 1.
+	self := bitpack.Pack(r, 0, 1)
+	if forward {
+		idx.In[v].Append(self)
+		idx.addInvIn(r, v)
+	} else {
+		idx.Out[v].Append(self)
+		idx.addInvOut(r, v)
+	}
+	idx.canonical++
+	d[v] = 0
+	c[v] = 1
+	touched = append(touched, int32(v))
+	for _, u := range idx.neighbors(v, forward) {
+		if idx.Ord.Rank(int(u)) > r { // v ≺ u: only lower-ranked vertices join
+			d[u] = 1
+			c[u] = 1
+			queue = append(queue, u)
+			touched = append(touched, u)
+		}
+	}
+
+	for head := 0; head < len(queue); head++ {
+		w := int(queue[head])
+		// Distance from v to w (or w to v in reverse) via higher hubs.
+		var dq int
+		if forward {
+			dq = label.JoinDist(&idx.Out[v], &idx.In[w])
+		} else {
+			dq = label.JoinDist(&idx.Out[w], &idx.In[v])
+		}
+		if dq < int(d[w]) {
+			continue // v is not the highest rank on any shortest path
+		}
+		e := bitpack.Pack(r, int(d[w]), c[w])
+		if forward {
+			idx.In[w].Append(e)
+			idx.addInvIn(r, w)
+		} else {
+			idx.Out[w].Append(e)
+			idx.addInvOut(r, w)
+		}
+		if dq == int(d[w]) {
+			idx.nonCanonical++ // some shortest paths run via higher hubs
+		} else {
+			idx.canonical++
+		}
+		for _, u := range idx.neighbors(w, forward) {
+			switch {
+			case d[u] == -1:
+				if idx.Ord.Rank(int(u)) > r {
+					d[u] = d[w] + 1
+					c[u] = c[w]
+					queue = append(queue, u)
+					touched = append(touched, u)
+				}
+			case d[u] == d[w]+1:
+				c[u] = bitpack.SatAdd(c[u], c[w])
+			}
+		}
+	}
+
+	for _, t := range touched {
+		d[t] = -1
+		c[t] = 0
+	}
+	idx.queue = queue[:0]
+	idx.touched = touched[:0]
+}
+
+func (idx *Index) neighbors(w int, forward bool) []int32 {
+	if forward {
+		return idx.G.Out(w)
+	}
+	return idx.G.In(w)
+}
+
+// ensureScratch re-sizes scratch arrays after the graph grew (not used by
+// the current fixed-n workloads but keeps the engine honest).
+func (idx *Index) ensureScratch() {
+	n := idx.G.NumVertices()
+	for len(idx.dist) < n {
+		idx.dist = append(idx.dist, -1)
+		idx.cnt = append(idx.cnt, 0)
+	}
+}
+
+// EntryCount returns the total number of label entries.
+func (idx *Index) EntryCount() int {
+	total := 0
+	for v := range idx.In {
+		total += idx.In[v].Len() + idx.Out[v].Len()
+	}
+	return total
+}
+
+// Bytes returns the label storage footprint in bytes (8 per entry).
+func (idx *Index) Bytes() int { return 8 * idx.EntryCount() }

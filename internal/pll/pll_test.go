@@ -1,0 +1,373 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/testgraphs"
+)
+
+// entry is an unpacked label entry in paper notation for test tables.
+type entry struct {
+	hub  int // vertex id (zero-based), not rank
+	dist int
+	cnt  uint64
+}
+
+// tableII is the paper's Table II — the complete HP-SPC labeling of the
+// Figure 2 graph under the Example 4 degree order — zero-based.
+var tableII = map[int]struct{ in, out []entry }{
+	0: {in: []entry{{0, 0, 1}}, out: []entry{{0, 0, 1}}},
+	1: {in: []entry{{0, 6, 2}, {6, 4, 1}, {9, 1, 1}, {1, 0, 1}},
+		out: []entry{{0, 6, 1}, {6, 2, 1}, {3, 1, 1}, {1, 0, 1}}},
+	2: {in: []entry{{0, 1, 1}, {2, 0, 1}},
+		out: []entry{{0, 6, 1}, {6, 2, 1}, {2, 0, 1}}},
+	3: {in: []entry{{0, 1, 1}, {6, 5, 1}, {3, 0, 1}},
+		out: []entry{{0, 5, 1}, {6, 1, 1}, {3, 0, 1}}},
+	4: {in: []entry{{0, 1, 1}, {4, 0, 1}},
+		out: []entry{{0, 5, 1}, {6, 1, 1}, {4, 0, 1}}},
+	5: {in: []entry{{0, 2, 1}, {2, 1, 1}, {5, 0, 1}},
+		out: []entry{{0, 5, 1}, {6, 1, 1}, {5, 0, 1}}},
+	6: {in: []entry{{0, 2, 2}, {6, 0, 1}},
+		out: []entry{{0, 4, 1}, {6, 0, 1}}},
+	7: {in: []entry{{0, 3, 2}, {6, 1, 1}, {7, 0, 1}},
+		out: []entry{{0, 3, 1}, {6, 5, 1}, {3, 4, 1}, {9, 2, 1}, {7, 0, 1}}},
+	8: {in: []entry{{0, 4, 2}, {6, 2, 1}, {7, 1, 1}, {8, 0, 1}},
+		out: []entry{{0, 2, 1}, {6, 4, 1}, {3, 3, 1}, {9, 1, 1}, {8, 0, 1}}},
+	9: {in: []entry{{0, 5, 2}, {6, 3, 1}, {9, 0, 1}},
+		out: []entry{{0, 1, 1}, {6, 3, 1}, {3, 2, 1}, {9, 0, 1}}},
+}
+
+func buildFigure2(t testing.TB, strategy Strategy) *Index {
+	t.Helper()
+	g := testgraphs.Figure2()
+	idx, _ := Build(g, order.ByDegree(g), Options{Strategy: strategy})
+	return idx
+}
+
+func TestBuildReproducesTableII(t *testing.T) {
+	idx := buildFigure2(t, Redundancy)
+	for v, want := range tableII {
+		checkList(t, idx, v, "Lin", idx.In[v].Entries(), want.in)
+		checkList(t, idx, v, "Lout", idx.Out[v].Entries(), want.out)
+	}
+}
+
+func checkList(t *testing.T, idx *Index, v int, side string, got interface {
+	// bitpack entries
+}, want []entry) {
+	t.Helper()
+	lst := idx.In[v]
+	if side == "Lout" {
+		lst = idx.Out[v]
+	}
+	if lst.Len() != len(want) {
+		t.Errorf("v%d %s: %d entries, want %d", v+1, side, lst.Len(), len(want))
+		return
+	}
+	for _, w := range want {
+		e, ok := lst.Lookup(idx.Ord.Rank(w.hub))
+		if !ok {
+			t.Errorf("v%d %s: missing hub v%d", v+1, side, w.hub+1)
+			continue
+		}
+		if e.Dist() != w.dist || e.Count() != w.cnt {
+			t.Errorf("v%d %s hub v%d: (%d,%d), want (%d,%d)",
+				v+1, side, w.hub+1, e.Dist(), e.Count(), w.dist, w.cnt)
+		}
+	}
+}
+
+func TestQueryPaperExample2(t *testing.T) {
+	idx := buildFigure2(t, Redundancy)
+	// SPCnt(v10, v8) = 3 with distance 4 (Example 2).
+	d, c := idx.CountPaths(9, 7)
+	if d != 4 || c != 3 {
+		t.Fatalf("SPCnt(v10,v8) = (%d,%d), want (4,3)", d, c)
+	}
+}
+
+func TestSelfAndUnreachableQueries(t *testing.T) {
+	idx := buildFigure2(t, Redundancy)
+	if d, c := idx.CountPaths(3, 3); d != 0 || c != 1 {
+		t.Fatalf("self query = (%d,%d)", d, c)
+	}
+	g := testgraphs.DAG()
+	dag, _ := Build(g, order.ByDegree(g), Options{})
+	if d, c := dag.CountPaths(5, 0); d != Unreachable || c != 0 {
+		t.Fatalf("unreachable = (%d,%d)", d, c)
+	}
+}
+
+func randomGraph(r *rand.Rand, n, m int) *graph.Digraph {
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// assertMatchesOracle compares every pair's CountPaths against the BFS
+// oracle, and bails with context on the first mismatch.
+func assertMatchesOracle(t *testing.T, idx *Index, g *graph.Digraph, ctx string) {
+	t.Helper()
+	n := g.NumVertices()
+	for s := 0; s < n; s++ {
+		for u := 0; u < n; u++ {
+			d, c := idx.CountPaths(s, u)
+			od, oc := bfscount.SPCount(g, s, u)
+			if od == bfscount.NoCycle {
+				if d != Unreachable || c != 0 {
+					t.Fatalf("%s: pair (%d,%d) index=(%d,%d), oracle unreachable", ctx, s, u, d, c)
+				}
+				continue
+			}
+			if d != od || c != oc {
+				t.Fatalf("%s: pair (%d,%d) index=(%d,%d), oracle=(%d,%d)", ctx, s, u, d, c, od, oc)
+			}
+		}
+	}
+}
+
+func TestBuildMatchesOracleRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(18)
+		g := randomGraph(r, n, n*3)
+		idx, st := Build(g, order.ByDegree(g), Options{})
+		assertMatchesOracle(t, idx, g, "build")
+		if st.Entries != idx.EntryCount() || st.Bytes != idx.Bytes() {
+			t.Fatalf("stats inconsistent: %+v vs %d", st, idx.EntryCount())
+		}
+	}
+}
+
+func TestInsertEdgeMatchesOracle(t *testing.T) {
+	for _, strat := range []Strategy{Redundancy, Minimality} {
+		for seed := int64(0); seed < 15; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			n := 4 + r.Intn(14)
+			g := randomGraph(r, n, n*2)
+			idx, _ := Build(g, order.ByDegree(g), Options{Strategy: strat})
+			for k := 0; k < 8; k++ {
+				u, v := r.Intn(n), r.Intn(n)
+				if u == v || g.HasEdge(u, v) {
+					continue
+				}
+				if _, err := idx.InsertEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				assertMatchesOracle(t, idx, g, strat.String()+" insert")
+			}
+		}
+	}
+}
+
+func TestDeleteEdgeMatchesOracle(t *testing.T) {
+	for _, strat := range []Strategy{Redundancy, Minimality} {
+		for seed := int64(100); seed < 115; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			n := 4 + r.Intn(14)
+			g := randomGraph(r, n, n*3)
+			idx, _ := Build(g, order.ByDegree(g), Options{Strategy: strat})
+			for k := 0; k < 8; k++ {
+				edges := g.Edges()
+				if len(edges) == 0 {
+					break
+				}
+				e := edges[r.Intn(len(edges))]
+				if _, err := idx.DeleteEdge(e[0], e[1]); err != nil {
+					t.Fatal(err)
+				}
+				assertMatchesOracle(t, idx, g, strat.String()+" delete")
+			}
+		}
+	}
+}
+
+func TestMixedUpdateSequence(t *testing.T) {
+	for _, strat := range []Strategy{Redundancy, Minimality} {
+		r := rand.New(rand.NewSource(7))
+		n := 14
+		g := randomGraph(r, n, n*2)
+		idx, _ := Build(g, order.ByDegree(g), Options{Strategy: strat})
+		for k := 0; k < 60; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v {
+				continue
+			}
+			if g.HasEdge(u, v) {
+				if _, err := idx.DeleteEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := idx.InsertEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if k%10 == 9 {
+				assertMatchesOracle(t, idx, g, strat.String()+" mixed")
+			}
+		}
+		assertMatchesOracle(t, idx, g, strat.String()+" mixed-final")
+	}
+}
+
+// Under the minimality strategy the maintained index must be *identical*
+// to a from-scratch rebuild: the minimal ESPC label set is unique —
+// entry (h,d,c) ∈ Lin(w) exists iff h is the top-ranked vertex on some
+// shortest h→w path, with d and c fully determined (Theorem V.3).
+func TestMinimalityEqualsRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	n := 12
+	g := randomGraph(r, n, n*2)
+	idx, _ := Build(g, order.ByDegree(g), Options{Strategy: Minimality})
+	ord := idx.Ord
+	for k := 0; k < 30; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if _, err := idx.DeleteEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := idx.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fresh, _ := Build(g.Clone(), ord, Options{})
+		for w := 0; w < n; w++ {
+			if !listsEqual(idx.In[w].Entries(), fresh.In[w].Entries()) {
+				t.Fatalf("step %d: Lin(%d) maintained %v != rebuilt %v",
+					k, w, idx.In[w].Entries(), fresh.In[w].Entries())
+			}
+			if !listsEqual(idx.Out[w].Entries(), fresh.Out[w].Entries()) {
+				t.Fatalf("step %d: Lout(%d) maintained %v != rebuilt %v",
+					k, w, idx.Out[w].Entries(), fresh.Out[w].Entries())
+			}
+		}
+	}
+}
+
+func listsEqual[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertDeleteRoundtripQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 12
+	g := randomGraph(r, n, n*2)
+	idx, _ := Build(g, order.ByDegree(g), Options{})
+	type pq struct {
+		d int
+		c uint64
+	}
+	before := make(map[[2]int]pq)
+	for s := 0; s < n; s++ {
+		for u := 0; u < n; u++ {
+			d, c := idx.CountPaths(s, u)
+			before[[2]int{s, u}] = pq{d, c}
+		}
+	}
+	// Insert a batch of fresh edges, then delete them in reverse.
+	var added [][2]int
+	for k := 0; k < 6; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if _, err := idx.InsertEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		added = append(added, [2]int{u, v})
+	}
+	for i := len(added) - 1; i >= 0; i-- {
+		if _, err := idx.DeleteEdge(added[i][0], added[i][1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < n; s++ {
+		for u := 0; u < n; u++ {
+			d, c := idx.CountPaths(s, u)
+			w := before[[2]int{s, u}]
+			if d != w.d || c != w.c {
+				t.Fatalf("pair (%d,%d): (%d,%d) after roundtrip, want (%d,%d)", s, u, d, c, w.d, w.c)
+			}
+		}
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	idx := buildFigure2(t, Redundancy)
+	if _, err := idx.InsertEdge(0, 2); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if _, err := idx.InsertEdge(0, 0); err == nil {
+		t.Error("self loop accepted")
+	}
+	if _, err := idx.DeleteEdge(0, 7); err == nil {
+		t.Error("missing delete accepted")
+	}
+}
+
+func TestHubFilterSelfLabelsOnly(t *testing.T) {
+	g := testgraphs.Triangle()
+	idx, _ := Build(g, order.ByID(3), Options{HubFilter: func(v int) bool { return v == 0 }})
+	// Vertices 1 and 2 must still carry self labels.
+	for v := 1; v <= 2; v++ {
+		if _, ok := idx.In[v].Lookup(idx.Ord.Rank(v)); !ok {
+			t.Fatalf("vertex %d missing in self label", v)
+		}
+		if _, ok := idx.Out[v].Lookup(idx.Ord.Rank(v)); !ok {
+			t.Fatalf("vertex %d missing out self label", v)
+		}
+	}
+	// Only vertex 0 may appear as a foreign hub.
+	for v := 0; v < 3; v++ {
+		for _, e := range idx.In[v].Entries() {
+			h := idx.Ord.VertexAt(e.Hub())
+			if h != v && h != 0 {
+				t.Fatalf("unexpected hub %d in Lin(%d)", h, v)
+			}
+		}
+	}
+}
+
+func TestUpdateStatsPopulated(t *testing.T) {
+	g := testgraphs.Figure2()
+	g2 := g.Clone()
+	if err := g2.RemoveEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := Build(g2, order.ByDegree(g), Options{})
+	st, err := idx.InsertEdge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AffectedHubs == 0 || st.Visited == 0 || st.EntriesAdded+st.EntriesChanged == 0 {
+		t.Fatalf("insert stats empty: %+v", st)
+	}
+	st, err = idx.DeleteEdge(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AffectedHubs == 0 {
+		t.Fatalf("delete stats empty: %+v", st)
+	}
+}

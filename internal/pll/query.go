@@ -1,0 +1,27 @@
+package pll
+
+import (
+	"repro/internal/label"
+)
+
+// Unreachable is returned by Dist when no path exists under the index.
+const Unreachable = label.Unreachable
+
+// Dist returns the shortest distance from s to t under the index, or
+// Unreachable. Dist(v,v) is 0 via the self labels.
+func (idx *Index) Dist(s, t int) int {
+	return label.JoinDist(&idx.Out[s], &idx.In[t])
+}
+
+// CountPaths evaluates SPCnt(s,t) (Equations 1-2): the shortest distance
+// from s to t and the number of shortest paths. Unreachable pairs return
+// (Unreachable, 0). Counts saturate at bitpack.MaxCount.
+func (idx *Index) CountPaths(s, t int) (dist int, count uint64) {
+	return label.Join(&idx.Out[s], &idx.In[t])
+}
+
+// InLabel exposes v's in-label list (read-only use).
+func (idx *Index) InLabel(v int) *label.List { return &idx.In[v] }
+
+// OutLabel exposes v's out-label list (read-only use).
+func (idx *Index) OutLabel(v int) *label.List { return &idx.Out[v] }

@@ -1,0 +1,48 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/order"
+)
+
+func TestProbeDeletionAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale probe")
+	}
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 300, 1200)
+	idx, _ := Build(g, order.ByDegree(g), Options{})
+	edges := g.Edges()
+	for k := 0; k < 5; k++ {
+		e := edges[r.Intn(len(edges))]
+		if !g.HasEdge(e[0], e[1]) {
+			continue
+		}
+		if _, err := idx.DeleteEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh, _ := Build(g.Clone(), idx.Ord, Options{})
+	t.Logf("maintained=%d fresh=%d diff=%+d", idx.EntryCount(), fresh.EntryCount(), idx.EntryCount()-fresh.EntryCount())
+	bad := 0
+	for s := 0; s < 300 && bad < 5; s++ {
+		for u := 0; u < 300; u++ {
+			d, c := idx.CountPaths(s, u)
+			od, oc := bfscount.SPCount(g, s, u)
+			if od == bfscount.NoCycle {
+				od = Unreachable
+				oc = 0
+			}
+			if d != od || c != oc {
+				t.Errorf("pair (%d,%d): index (%d,%d) oracle (%d,%d)", s, u, d, c, od, oc)
+				bad++
+				if bad >= 5 {
+					break
+				}
+			}
+		}
+	}
+}

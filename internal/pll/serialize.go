@@ -1,0 +1,173 @@
+package pll
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitpack"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+)
+
+// Binary index format (little endian):
+//
+//	magic   [8]byte  "CSCIDX01"
+//	n       uint32   vertex count
+//	m       uint32   edge count
+//	strategy uint8
+//	edges   m × (uint32, uint32)
+//	order   n × uint32            vertexAt, highest rank first
+//	labels  n × { inLen uint32, inLen × uint64,
+//	              outLen uint32, outLen × uint64 }
+//
+// The format is self-contained: the graph travels with the labels so a
+// loaded index supports queries and dynamic maintenance immediately.
+
+var indexMagic = [8]byte{'C', 'S', 'C', 'I', 'D', 'X', '0', '1'}
+
+// ErrBadFormat reports a corrupt or foreign index stream.
+var ErrBadFormat = errors.New("pll: bad index format")
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if err := write(indexMagic); err != nil {
+		return cw.n, err
+	}
+	n := idx.G.NumVertices()
+	if err := write(uint32(n)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(idx.G.NumEdges())); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint8(idx.Strategy)); err != nil {
+		return cw.n, err
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range idx.G.Out(u) {
+			if err := write(uint32(u)); err != nil {
+				return cw.n, err
+			}
+			if err := write(uint32(v)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		if err := write(uint32(idx.Ord.VertexAt(r))); err != nil {
+			return cw.n, err
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, lst := range []*label.List{&idx.In[v], &idx.Out[v]} {
+			if err := write(uint32(lst.Len())); err != nil {
+				return cw.n, err
+			}
+			for _, e := range lst.Entries() {
+				if err := write(uint64(e)); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic [8]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
+	}
+	var n32, m32 uint32
+	var strat uint8
+	if err := read(&n32); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if err := read(&m32); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if err := read(&strat); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	n, m := int(n32), int(m32)
+	if n > bitpack.MaxHub+1 {
+		return nil, fmt.Errorf("%w: vertex count %d exceeds encoding limit", ErrBadFormat, n)
+	}
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		var u, v uint32
+		if err := read(&u); err != nil {
+			return nil, fmt.Errorf("%w: truncated edges: %v", ErrBadFormat, err)
+		}
+		if err := read(&v); err != nil {
+			return nil, fmt.Errorf("%w: truncated edges: %v", ErrBadFormat, err)
+		}
+		if err := g.AddEdge(int(u), int(v)); err != nil {
+			return nil, fmt.Errorf("%w: edge (%d,%d): %v", ErrBadFormat, u, v, err)
+		}
+	}
+	vertexAt := make([]int, n)
+	for r := 0; r < n; r++ {
+		var v uint32
+		if err := read(&v); err != nil {
+			return nil, fmt.Errorf("%w: truncated order: %v", ErrBadFormat, err)
+		}
+		if int(v) >= n {
+			return nil, fmt.Errorf("%w: order vertex %d out of range", ErrBadFormat, v)
+		}
+		vertexAt[r] = int(v)
+	}
+	ord, err := order.FromVertexList(vertexAt)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	idx := NewEmpty(g, ord)
+	idx.Strategy = Strategy(strat)
+	for v := 0; v < n; v++ {
+		for _, lst := range []*label.List{&idx.In[v], &idx.Out[v]} {
+			var ln uint32
+			if err := read(&ln); err != nil {
+				return nil, fmt.Errorf("%w: truncated labels: %v", ErrBadFormat, err)
+			}
+			prevHub := -1
+			for i := 0; i < int(ln); i++ {
+				var e uint64
+				if err := read(&e); err != nil {
+					return nil, fmt.Errorf("%w: truncated labels: %v", ErrBadFormat, err)
+				}
+				ent := bitpack.Entry(e)
+				if ent.Hub() <= prevHub || ent.Hub() >= n {
+					return nil, fmt.Errorf("%w: label hub order violated", ErrBadFormat)
+				}
+				prevHub = ent.Hub()
+				lst.Append(ent)
+			}
+		}
+	}
+	return idx, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,86 @@
+package pll
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/testgraphs"
+)
+
+func TestSerializeRoundtrip(t *testing.T) {
+	g := testgraphs.Figure2()
+	idx, _ := Build(g, order.ByDegree(g), Options{Strategy: Minimality})
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Strategy != Minimality {
+		t.Fatal("strategy lost")
+	}
+	for v := 0; v < 10; v++ {
+		for u := 0; u < 10; u++ {
+			d1, c1 := idx.CountPaths(v, u)
+			d2, c2 := got.CountPaths(v, u)
+			if d1 != d2 || c1 != c2 {
+				t.Fatalf("pair (%d,%d): (%d,%d) != (%d,%d)", v, u, d1, c1, d2, c2)
+			}
+		}
+	}
+	// The loaded index stays maintainable.
+	if _, err := got.InsertEdge(1, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeRandomRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	g := randomGraph(r, 30, 90)
+	idx, _ := Build(g, order.ByDegree(g), Options{})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 30; v++ {
+		if !listsEqual(idx.In[v].Entries(), got.In[v].Entries()) ||
+			!listsEqual(idx.Out[v].Entries(), got.Out[v].Entries()) {
+			t.Fatalf("labels differ at %d", v)
+		}
+	}
+}
+
+func TestReadIndexRejectsCorruption(t *testing.T) {
+	g := testgraphs.Figure2()
+	idx, _ := Build(g, order.ByDegree(g), Options{})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOTANIDX"), full[8:]...),
+		"truncated": full[:len(full)/2],
+		"tiny":      full[:4],
+	}
+	for name, data := range cases {
+		if _, err := ReadIndex(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}

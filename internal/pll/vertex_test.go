@@ -1,0 +1,71 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/testgraphs"
+)
+
+func TestAddVertexIsolatedThenConnected(t *testing.T) {
+	g := testgraphs.Triangle()
+	idx, _ := Build(g, order.ByDegree(g), Options{})
+	v, err := idx.AddVertex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("id = %d", v)
+	}
+	// Fresh vertex: reachable only from itself.
+	if d, c := idx.CountPaths(v, v); d != 0 || c != 1 {
+		t.Fatalf("self = (%d,%d)", d, c)
+	}
+	if d, _ := idx.CountPaths(0, v); d != Unreachable {
+		t.Fatalf("phantom path to fresh vertex: %d", d)
+	}
+	// Wire it in through maintained insertions and verify.
+	if _, err := idx.InsertEdge(0, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.InsertEdge(v, 2); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesOracle(t, idx, g, "after AddVertex wiring")
+}
+
+func TestAddVertexRepeatedUnderMinimality(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	g := testgraphs.DiamondCycles()
+	idx, _ := Build(g, order.ByDegree(g), Options{Strategy: Minimality})
+	for k := 0; k < 10; k++ {
+		v, err := idx.AddVertex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := r.Intn(v)
+		if !g.HasEdge(u, v) {
+			if _, err := idx.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	assertMatchesOracle(t, idx, g, "grown under minimality")
+}
+
+func TestDetachVertexEngine(t *testing.T) {
+	g := testgraphs.Figure2()
+	idx, _ := Build(g, order.ByDegree(g), Options{})
+	removed, err := idx.DetachVertex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 4 { // v1: out {v3,v4,v5}, in {v10}
+		t.Fatalf("removed %d", removed)
+	}
+	if g.Degree(0) != 0 {
+		t.Fatal("vertex not isolated")
+	}
+	assertMatchesOracle(t, idx, g, "after detach")
+}
