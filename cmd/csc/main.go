@@ -124,6 +124,9 @@ func runQuery(args []string) error {
 	if *vertex < 0 {
 		return fmt.Errorf("query: -v or -all required")
 	}
+	if n := idx.Graph().NumVertices(); *vertex >= n {
+		return fmt.Errorf("query: vertex %d out of range [0,%d)", *vertex, n)
+	}
 	start := time.Now()
 	r := idx.CycleCount(*vertex)
 	elapsed := time.Since(start)

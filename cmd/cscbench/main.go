@@ -5,10 +5,14 @@
 //
 //	cscbench -exp all -scale small
 //	cscbench -exp fig10 -dataset WKT -scale full
+//	cscbench -json BENCH_small.json -scale small
 //
 // Experiments: table4, fig9, fig10, fig11, fig12, case, scaling, ablation,
-// ordering, or all. Scales: tiny, small (default), full. Figure
-// experiments accept -dataset to restrict the run to one graph.
+// ordering, bench, or all. Scales: tiny, small (default), full. Figure
+// experiments accept -dataset to restrict the run to one graph. -json
+// runs the machine-readable bench suite (see EXPERIMENTS.md) and writes
+// the BENCH_*.json file that tracks the perf trajectory across PRs;
+// -workers controls construction parallelism (0 = all cores).
 package main
 
 import (
@@ -22,15 +26,27 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment: table4|fig9|fig10|fig11|fig12|case|scaling|ablation|ordering|all")
+		expName = flag.String("exp", "all", "experiment: table4|fig9|fig10|fig11|fig12|case|scaling|ablation|ordering|bench|all")
 		scaleIn = flag.String("scale", "small", "dataset scale: tiny|small|full")
 		dataset = flag.String("dataset", "", "restrict to one dataset (e.g. G04)")
+		jsonOut = flag.String("json", "", "write the bench suite as JSON to this file (e.g. BENCH_small.json); implies -exp bench unless -exp is set")
+		workers = flag.Int("workers", 0, "construction workers (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
 	scale, err := exp.ParseScale(*scaleIn)
 	if err != nil {
 		fatal(err)
+	}
+	exp.Workers = *workers
+	if *jsonOut != "" {
+		switch *expName {
+		case "all":
+			*expName = "bench" // -json wants the machine-readable suite only
+		case "bench":
+		default:
+			fatal(fmt.Errorf("-json is produced by the bench suite; drop -exp %s or use -exp bench", *expName))
+		}
 	}
 	datasets := exp.Datasets()
 	if *dataset != "" {
@@ -146,6 +162,32 @@ func main() {
 				rows = append(rows, exp.AblationOrdering(scale, d)...)
 			}
 			return exp.WriteOrdering(os.Stdout, rows)
+		})
+	}
+	if *expName == "bench" {
+		ran = true
+		run("Bench suite: build/query/update trajectory", func() error {
+			res := exp.BenchSuite(scale, datasets)
+			if *jsonOut == "" {
+				return exp.WriteBenchJSON(os.Stdout, res)
+			}
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := exp.WriteBenchJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err // a truncated BENCH file must not look written
+			}
+			for _, r := range res {
+				fmt.Printf("%-4s build %8.1fms  %9d entries  query %7.0fns  insert %9.0fns  delete %10.0fns\n",
+					r.Dataset, float64(r.BuildWallNS)/1e6, r.Entries, r.QueryNS, r.InsertNS, r.DeleteNS)
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+			return nil
 		})
 	}
 	if !ran {

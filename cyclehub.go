@@ -8,6 +8,15 @@
 // independent of v's degree. Edge insertions and deletions maintain the
 // index incrementally instead of rebuilding it.
 //
+// Construction uses every core by default (see WithWorkers): hub BFSes
+// run speculatively in rank-ordered batches and merge deterministically,
+// so the labels are byte-identical to a sequential build. Pruning inside
+// each BFS probes a rank-indexed scatter of the hub's own label instead
+// of merge-joining two lists per visited vertex. The finished labels are
+// frozen into a single contiguous CSR arena with a small mutable tail per
+// vertex, so queries walk sequential memory and later edge updates keep
+// working without a rebuild.
+//
 // # Quick start
 //
 //	g := cyclehub.NewGraph(4)
@@ -75,6 +84,15 @@ type buildConfig struct {
 // stay exact either way.
 func WithMinimality() Option {
 	return func(c *buildConfig) { c.opts.Strategy = pll.Minimality }
+}
+
+// WithWorkers sets how many goroutines construction uses. The default (0)
+// uses every core; 1 forces the sequential builder. Hubs are processed in
+// rank-ordered batches whose results merge deterministically, so the
+// built labels are byte-identical for every worker count — parallelism is
+// purely a wall-clock knob.
+func WithWorkers(n int) Option {
+	return func(c *buildConfig) { c.opts.Workers = n }
 }
 
 // Index answers CycleCount queries on a dynamic directed graph.

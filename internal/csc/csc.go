@@ -6,6 +6,12 @@
 // lists, independent of v's degree. Edge insertions and deletions on G
 // are maintained by the INCCNT and decremental algorithms of §V running
 // on the Gb labeling.
+//
+// Construction runs on the engine's fast-path pipeline: the skipping
+// BFSes prune through the hub-indexed scatter instead of per-dequeue
+// merge-joins, hubs are processed in rank-batched parallel speculation
+// with a deterministic rank-order merge (labels stay byte-identical to a
+// sequential build), and the finished labels freeze into the CSR arena.
 package csc
 
 import (
@@ -35,6 +41,9 @@ type Options struct {
 	// construction. Both produce identical labels — this knob exists for
 	// the ablation benchmark and as a cross-check in tests.
 	GenericConstruction bool
+	// Workers sets construction parallelism: 0 uses every core, 1 forces
+	// the sequential path. Labels are identical either way.
+	Workers int
 }
 
 // Build converts g, lifts the ordering, and constructs the CSC labeling.
@@ -49,9 +58,10 @@ func Build(g *graph.Digraph, ord *order.Order, opts Options) (*Index, pll.BuildS
 		eng, _ = pll.Build(gb, lifted, pll.Options{
 			Strategy:  opts.Strategy,
 			HubFilter: bipartite.IsIn,
+			Workers:   opts.Workers,
 		})
 	} else {
-		eng = buildSkipping(gb, lifted)
+		eng = buildSkipping(gb, lifted, opts.Workers)
 		eng.Strategy = opts.Strategy
 		eng.HubFilter = bipartite.IsIn
 	}
@@ -64,113 +74,124 @@ func Build(g *graph.Digraph, ord *order.Order, opts Options) (*Index, pll.BuildS
 // buildSkipping is the couple-vertex-skipping construction (Algorithm 3):
 // only V_in vertices run hub BFSes; each labeled vertex also labels its
 // couple one step further, so the queue only ever holds one vertex per
-// couple and half the join queries are skipped.
-func buildSkipping(gb *graph.Digraph, ord *order.Order) *pll.Index {
+// couple and half the join queries are skipped. The passes run on the
+// engine's rank-batched driver, so they parallelize like the generic
+// construction while producing the same bytes.
+func buildSkipping(gb *graph.Digraph, ord *order.Order, workers int) *pll.Index {
 	eng := pll.NewEmpty(gb, ord)
-	n2 := gb.NumVertices()
-	s := &skipScratch{
-		d: make([]int32, n2),
-		c: make([]uint64, n2),
-	}
-	for i := range s.d {
-		s.d[i] = -1
-	}
-	for r := 0; r < n2; r++ {
-		v := ord.VertexAt(r)
-		if !bipartite.IsIn(v) {
-			// V_out vertices only receive their self labels (Alg 3 l.6-8).
-			self := bitpack.Pack(r, 0, 1)
-			eng.In[v].Append(self)
-			eng.Out[v].Append(self)
-			continue
-		}
-		inLabelBFS(eng, gb, ord, v, r, s)
-		outLabelBFS(eng, gb, ord, v, r, s)
-	}
+	eng.RunConstruction(&skipScheme{eng: eng, gb: gb, ord: ord}, workers)
+	eng.FreezeArena()
 	return eng
 }
 
-// skipScratch carries the tentative distance/count arrays (D[·], C[·] of
-// Algorithm 3) across hub BFSes; only touched cells are reset.
-type skipScratch struct {
-	d       []int32
-	c       []uint64
-	queue   []int32
-	touched []int32
+// skipScheme adapts the couple-vertex-skipping construction to the
+// engine's rank-batched driver.
+type skipScheme struct {
+	eng *pll.Index
+	gb  *graph.Digraph
+	ord *order.Order
 }
 
-func (s *skipScratch) reset() {
-	for _, t := range s.touched {
-		s.d[t] = -1
-		s.c[t] = 0
+func (sc *skipScheme) IsHub(r int) bool { return bipartite.IsIn(sc.ord.VertexAt(r)) }
+
+// SelfLabels gives a V_out vertex its self labels (Alg 3 l.6-8).
+func (sc *skipScheme) SelfLabels(r int) {
+	v := sc.ord.VertexAt(r)
+	self := bitpack.Pack(r, 0, 1)
+	sc.eng.AppendIn(v, self)
+	sc.eng.AppendOut(v, self)
+}
+
+func (sc *skipScheme) RunPass(r, pass int, s *pll.Scratch, st *pll.Stage) {
+	v := sc.ord.VertexAt(r)
+	if pass == 0 {
+		sc.inSpecPass(v, r, s, st)
+	} else {
+		sc.outSpecPass(v, r, s, st)
 	}
-	s.queue = s.queue[:0]
-	s.touched = s.touched[:0]
 }
 
-func (s *skipScratch) visit(u int, d int32, c uint64) {
-	s.d[u] = d
-	s.c[u] = c
-	s.touched = append(s.touched, int32(u))
+func (sc *skipScheme) Anchor(r, pass int) *label.List {
+	v := sc.ord.VertexAt(r)
+	if pass == 0 {
+		return &sc.eng.Out[v] // Alg 3 l.14: Query joins Lout(v) with Lin(w)
+	}
+	return &sc.eng.In[v]
 }
 
-// inLabelBFS generates in-labels with hub v_in = v (rank r). The queue
+// inSpecPass generates in-labels with hub v_in = v (rank r). The queue
 // holds V_in vertices only; each popped w also stamps its couple w_out at
-// distance D[w]+1 (couple-vertex skipping).
-func inLabelBFS(eng *pll.Index, gb *graph.Digraph, ord *order.Order, v, r int, s *skipScratch) {
-	defer s.reset()
-	s.visit(v, 0, 1)
-	s.queue = append(s.queue, int32(v))
-	for head := 0; head < len(s.queue); head++ {
-		w := int(s.queue[head])
-		dw := int(s.d[w])
+// distance D[w]+1 (couple-vertex skipping). The prune test probes the
+// rank-indexed scatter of Lout(v) against Lin(w); appends are staged, and
+// mid-pass appends can never feed a probe (V_in lists are probed only at
+// their single dequeue, couple appends target V_out lists).
+func (sc *skipScheme) inSpecPass(v, r int, s *pll.Scratch, st *pll.Stage) {
+	eng, gb, ord := sc.eng, sc.gb, sc.ord
+	st.Reset(true, false)
+	s.Scatter(&eng.Out[v])
+	defer s.Unscatter(&eng.Out[v])
+	defer s.Reset()
+
+	s.Visit(v, 0, 1)
+	s.Queue = append(s.Queue, int32(v))
+	for head := 0; head < len(s.Queue); head++ {
+		w := int(s.Queue[head])
+		dw := int(s.Dist[w])
 		if w != v {
-			if dq := label.JoinDist(&eng.Out[v], &eng.In[w]); dq < dw {
+			if dq := s.Probe(&eng.In[w], dw); dq < dw {
 				continue // Alg 3 l.14-15: v not top-ranked on any path
 			}
 		}
 		// INSERT LABEL (Algorithm 4): label w and its couple at +1.
 		wo := bipartite.Couple(w)
-		eng.In[w].Append(bitpack.Pack(r, dw, s.c[w]))
-		eng.In[wo].Append(bitpack.Pack(r, dw+1, s.c[w]))
-		s.visit(wo, int32(dw+1), s.c[w])
+		cw := s.Cnt[w]
+		st.Add(w, w != v, bitpack.Pack(r, dw, cw))
+		st.Add(wo, false, bitpack.Pack(r, dw+1, cw))
+		s.Visit(wo, int32(dw+1), cw)
 		for _, wn := range gb.Out(wo) {
 			switch {
-			case s.d[wn] == -1:
+			case s.Dist[wn] == -1:
 				if ord.Rank(int(wn)) > r { // v ≺ wn
-					s.visit(int(wn), int32(dw+2), s.c[wo])
-					s.queue = append(s.queue, wn)
+					s.Visit(int(wn), int32(dw+2), cw)
+					s.Queue = append(s.Queue, wn)
 				}
-			case int(s.d[wn]) == dw+2:
-				s.c[wn] = bitpack.SatAdd(s.c[wn], s.c[wo])
+			case int(s.Dist[wn]) == dw+2:
+				s.Cnt[wn] = bitpack.SatAdd(s.Cnt[wn], cw)
 			}
 		}
 	}
 }
 
-// outLabelBFS generates out-labels with hub v_in = v (rank r), walking the
+// outSpecPass generates out-labels with hub v_in = v (rank r), walking the
 // reverse direction. After the first dequeue the queue holds V_out
 // vertices only; reaching the hub's own couple v_out yields the cycle
-// entry in Lout(v_out) and prunes (§IV-C distinction 4).
-func outLabelBFS(eng *pll.Index, gb *graph.Digraph, ord *order.Order, v, r int, s *skipScratch) {
-	defer s.reset()
+// entry in Lout(v_out) and prunes (§IV-C distinction 4). The prune test
+// probes the scatter of Lin(v) against Lout(w).
+func (sc *skipScheme) outSpecPass(v, r int, s *pll.Scratch, st *pll.Stage) {
+	eng, gb, ord := sc.eng, sc.gb, sc.ord
+	st.Reset(false, false)
+	s.Scatter(&eng.In[v])
+	defer s.Unscatter(&eng.In[v])
+	defer s.Reset()
+
 	// First dequeue (distinction 3): self label only, then expand v's
 	// in-neighbors, which are V_out vertices.
-	eng.Out[v].Append(bitpack.Pack(r, 0, 1))
-	s.visit(v, 0, 1)
+	st.Add(v, false, bitpack.Pack(r, 0, 1))
+	s.Visit(v, 0, 1)
 	for _, u := range gb.In(v) {
 		if ord.Rank(int(u)) > r {
-			s.visit(int(u), 1, 1)
-			s.queue = append(s.queue, u)
+			s.Visit(int(u), 1, 1)
+			s.Queue = append(s.Queue, u)
 		}
 	}
-	for head := 0; head < len(s.queue); head++ {
-		w := int(s.queue[head])
-		dw := int(s.d[w])
-		if dq := label.JoinDist(&eng.Out[w], &eng.In[v]); dq < dw {
+	for head := 0; head < len(s.Queue); head++ {
+		w := int(s.Queue[head])
+		dw := int(s.Dist[w])
+		if dq := s.Probe(&eng.Out[w], dw); dq < dw {
 			continue
 		}
-		eng.Out[w].Append(bitpack.Pack(r, dw, s.c[w]))
+		cw := s.Cnt[w]
+		st.Add(w, true, bitpack.Pack(r, dw, cw))
 		if w == bipartite.Couple(v) {
 			// Distinction 4: the cycle entry. Label only Lout(v_out); the
 			// couple is the hub itself, and no shortest path to the hub
@@ -178,17 +199,17 @@ func outLabelBFS(eng *pll.Index, gb *graph.Digraph, ord *order.Order, v, r int, 
 			continue
 		}
 		wi := bipartite.Couple(w)
-		eng.Out[wi].Append(bitpack.Pack(r, dw+1, s.c[w]))
-		s.visit(wi, int32(dw+1), s.c[w])
+		st.Add(wi, false, bitpack.Pack(r, dw+1, cw))
+		s.Visit(wi, int32(dw+1), cw)
 		for _, wn := range gb.In(wi) {
 			switch {
-			case s.d[wn] == -1:
+			case s.Dist[wn] == -1:
 				if ord.Rank(int(wn)) > r {
-					s.visit(int(wn), int32(dw+2), s.c[wi])
-					s.queue = append(s.queue, wn)
+					s.Visit(int(wn), int32(dw+2), cw)
+					s.Queue = append(s.Queue, wn)
 				}
-			case int(s.d[wn]) == dw+2:
-				s.c[wn] = bitpack.SatAdd(s.c[wn], s.c[wi])
+			case int(s.Dist[wn]) == dw+2:
+				s.Cnt[wn] = bitpack.SatAdd(s.Cnt[wn], cw)
 			}
 		}
 	}
@@ -232,7 +253,7 @@ func (x *Index) Graph() *graph.Digraph { return x.g }
 // Engine exposes the underlying Gb labeling (tests, serialization, stats).
 func (x *Index) Engine() *pll.Index { return x.eng }
 
-// EntryCount returns the total number of label entries over Gb.
+// EntryCount returns the total number of label entries over Gb (O(1)).
 func (x *Index) EntryCount() int { return x.eng.EntryCount() }
 
 // Bytes returns the unreduced label footprint (8 bytes per entry).

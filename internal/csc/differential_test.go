@@ -1,0 +1,106 @@
+package csc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/gen"
+	"repro/internal/order"
+)
+
+// Differential property test: the generic hub-filtered construction, the
+// sequential couple-vertex-skipping construction, and the parallel
+// skipping construction must produce identical labels on the same graph,
+// and must keep answering CycleCount identically (and correctly, against
+// the BFS baseline) under a random stream of maintained insertions and
+// deletions. This pins the whole fast-path pipeline — hub-indexed
+// pruning, rank-batched speculation, and the CSR arena — to the seed
+// semantics.
+func TestDifferentialConstructionAndUpdateStream(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		differentialRun(t, seed)
+	}
+}
+
+// FuzzDifferentialConstruction lets `go test -fuzz` explore more seeds;
+// the checked-in corpus keeps `go test` fast.
+func FuzzDifferentialConstruction(f *testing.F) {
+	f.Add(int64(42))
+	f.Add(int64(7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		differentialRun(t, seed)
+	})
+}
+
+func differentialRun(t *testing.T, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	n := 10 + r.Intn(25)
+	m := n + r.Intn(3*n)
+	g := gen.ErdosRenyi(gen.Config{N: n, M: m, Seed: seed})
+	ord := order.ByDegree(g)
+
+	generic, _ := Build(g.Clone(), ord, Options{GenericConstruction: true, Workers: 1})
+	skipping, _ := Build(g.Clone(), ord, Options{Workers: 1})
+	parallel, _ := Build(g.Clone(), ord, Options{Workers: 4})
+
+	assertEngineLabelsEqual(t, seed, -1, "generic vs skipping", generic, skipping)
+	assertEngineLabelsEqual(t, seed, -1, "skipping vs parallel", skipping, parallel)
+
+	// Random update stream applied to all three; answers must agree with
+	// each other and with the BFS ground truth after every step.
+	indexes := []*Index{generic, skipping, parallel}
+	for step := 0; step < 30; step++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			g.RemoveEdge(u, v)
+			for _, x := range indexes {
+				if _, err := x.DeleteEdge(u, v); err != nil {
+					t.Fatalf("seed %d step %d: delete(%d,%d): %v", seed, step, u, v, err)
+				}
+			}
+		} else {
+			g.AddEdge(u, v)
+			for _, x := range indexes {
+				if _, err := x.InsertEdge(u, v); err != nil {
+					t.Fatalf("seed %d step %d: insert(%d,%d): %v", seed, step, u, v, err)
+				}
+			}
+		}
+		assertEngineLabelsEqual(t, seed, step, "generic vs parallel", generic, parallel)
+		for w := 0; w < n; w++ {
+			wantL, wantC := bfscount.CycleCount(g, w)
+			for _, x := range indexes {
+				gotL, gotC := x.CycleCount(w)
+				if gotL != wantL || gotC != wantC {
+					t.Fatalf("seed %d step %d: CycleCount(%d) = (%d,%d), want BFS (%d,%d)",
+						seed, step, w, gotL, gotC, wantL, wantC)
+				}
+			}
+		}
+	}
+}
+
+func assertEngineLabelsEqual(t *testing.T, seed int64, step int, what string, a, b *Index) {
+	t.Helper()
+	ae, be := a.Engine(), b.Engine()
+	n2 := ae.G.NumVertices()
+	for v := 0; v < n2; v++ {
+		if !entriesEqual(ae.In[v].Entries(), be.In[v].Entries()) {
+			t.Fatalf("seed %d step %d: %s: Lin(%d): %v != %v",
+				seed, step, what, v, ae.In[v].Entries(), be.In[v].Entries())
+		}
+		if !entriesEqual(ae.Out[v].Entries(), be.Out[v].Entries()) {
+			t.Fatalf("seed %d step %d: %s: Lout(%d): %v != %v",
+				seed, step, what, v, ae.Out[v].Entries(), be.Out[v].Entries())
+		}
+	}
+	if ae.EntryCount() != be.EntryCount() {
+		t.Fatalf("seed %d step %d: %s: entry counts %d != %d",
+			seed, step, what, ae.EntryCount(), be.EntryCount())
+	}
+}

@@ -12,6 +12,12 @@ import (
 	"repro/internal/graph"
 )
 
+// Workers sets the construction parallelism every experiment build uses
+// (0 = all cores, 1 = the sequential methodology of the paper's
+// evaluation). cscbench sets it from -workers. Labels are byte-identical
+// either way; only wall-clock figures change.
+var Workers = 0
+
 // Scale selects dataset sizes. The paper's originals range up to 139M
 // edges; Full keeps their relative ordering at laptop scale, Small is the
 // default for quick runs and the Go benchmarks, Tiny exists for the unit

@@ -35,7 +35,7 @@ func AblationOrdering(s Scale, d Dataset) []OrderingRow {
 	var rows []OrderingRow
 	for _, o := range orders {
 		t0 := time.Now()
-		x, _ := csc.Build(g.Clone(), o.ord, csc.Options{Strategy: pll.Redundancy})
+		x, _ := csc.Build(g.Clone(), o.ord, csc.Options{Strategy: pll.Redundancy, Workers: Workers})
 		build := time.Since(t0)
 
 		sample := n

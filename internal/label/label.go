@@ -104,6 +104,8 @@ func (l *List) Bytes() int { return 8 * len(l.e) }
 // and an in-label list of t over common hubs, returning the minimum
 // sd(s,h)+sd(h,t) and the saturating sum of count products at that
 // distance. When the lists share no hub it returns (Unreachable, 0).
+// After a Freeze, the two lists are views into the CSR arena, so the scan
+// walks two contiguous spans of one allocation.
 func Join(out, in *List) (dist int, count uint64) {
 	dist = Unreachable
 	i, j := 0, 0

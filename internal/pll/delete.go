@@ -196,42 +196,50 @@ func (idx *Index) bfsDistances(src int, forward bool) []int32 {
 // repairPass re-runs a construction-style pruned counting BFS from the hub
 // with rank vkRank on the post-deletion graph, inserting labels only for
 // vertices in the targets set. forward repairs in-labels over out-edges;
-// !forward repairs out-labels over in-edges.
+// !forward repairs out-labels over in-edges. The prune test probes the
+// hub-indexed scatter of the anchor list, which no repair write can touch
+// mid-pass (the BFS never revisits the hub and repair never cleans).
 func (idx *Index) repairPass(vkRank int, forward bool, targets []bool, st *UpdateStats) {
 	vk := idx.Ord.VertexAt(vkRank)
-	d, c := idx.dist, idx.cnt
-	queue := idx.queue[:0]
-	touched := idx.touched[:0]
+	s := idx.scr
 
-	d[vk] = 0
-	c[vk] = 1
-	touched = append(touched, int32(vk))
+	var anchor *label.List
+	if forward {
+		anchor = &idx.Out[vk]
+	} else {
+		anchor = &idx.In[vk]
+	}
+	s.Scatter(anchor)
+	defer s.Unscatter(anchor)
+	defer s.Reset()
+
+	s.Visit(vk, 0, 1)
 	for _, u := range idx.neighbors(vk, forward) {
 		if idx.Ord.Rank(int(u)) > vkRank {
-			d[u] = 1
-			c[u] = 1
-			queue = append(queue, u)
-			touched = append(touched, u)
+			s.Visit(int(u), 1, 1)
+			s.Queue = append(s.Queue, u)
 		}
 	}
 
-	for head := 0; head < len(queue); head++ {
-		w := int(queue[head])
+	for head := 0; head < len(s.Queue); head++ {
+		w := int(s.Queue[head])
 		st.Visited++
+		dw := int(s.Dist[w])
 		var dq int
 		if forward {
-			dq = label.JoinDist(&idx.Out[vk], &idx.In[w])
+			dq = s.Probe(&idx.In[w], dw)
 		} else {
-			dq = label.JoinDist(&idx.Out[w], &idx.In[vk])
+			dq = s.Probe(&idx.Out[w], dw)
 		}
-		if dq < int(d[w]) {
+		if dq < dw {
 			continue // vk is not the highest rank on any shortest path
 		}
 		if targets[w] {
-			e := bitpack.Pack(vkRank, int(d[w]), c[w])
+			e := bitpack.Pack(vkRank, int(s.Dist[w]), s.Cnt[w])
 			st.touch(w)
 			if forward {
 				if idx.In[w].Set(e) {
+					idx.entries++
 					st.EntriesAdded++
 					idx.addInvIn(vkRank, w)
 				} else {
@@ -239,6 +247,7 @@ func (idx *Index) repairPass(vkRank int, forward bool, targets []bool, st *Updat
 				}
 			} else {
 				if idx.Out[w].Set(e) {
+					idx.entries++
 					st.EntriesAdded++
 					idx.addInvOut(vkRank, w)
 				} else {
@@ -248,23 +257,14 @@ func (idx *Index) repairPass(vkRank int, forward bool, targets []bool, st *Updat
 		}
 		for _, u := range idx.neighbors(w, forward) {
 			switch {
-			case d[u] == -1:
+			case s.Dist[u] == -1:
 				if idx.Ord.Rank(int(u)) > vkRank {
-					d[u] = d[w] + 1
-					c[u] = c[w]
-					queue = append(queue, u)
-					touched = append(touched, u)
+					s.Visit(int(u), s.Dist[w]+1, s.Cnt[w])
+					s.Queue = append(s.Queue, u)
 				}
-			case d[u] == d[w]+1:
-				c[u] = bitpack.SatAdd(c[u], c[w])
+			case s.Dist[u] == s.Dist[w]+1:
+				s.Cnt[u] = bitpack.SatAdd(s.Cnt[u], s.Cnt[w])
 			}
 		}
 	}
-
-	for _, t := range touched {
-		d[t] = -1
-		c[t] = 0
-	}
-	idx.queue = queue[:0]
-	idx.touched = touched[:0]
 }

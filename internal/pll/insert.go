@@ -68,51 +68,61 @@ func (idx *Index) InsertEdge(a, b int) (UpdateStats, error) {
 // from one endpoint of the new edge on behalf of affected hub rank vkRank,
 // seeded at distance d0 with count c0. forward walks out-edges updating
 // in-labels; !forward walks in-edges updating out-labels.
+//
+// Under the redundancy strategy the prune test uses the hub-indexed
+// scatter: the hub's anchor list cannot change mid-pass (the BFS never
+// reaches vk, and no cleaning runs), so the scatter stays valid. Under
+// minimality, CLEAN LABEL may remove entries from the anchor list while
+// the pass runs, so the test falls back to the live merge-join.
 func (idx *Index) updatePass(vkRank, start, d0 int, c0 uint64, forward bool, st *UpdateStats) {
 	vk := idx.Ord.VertexAt(vkRank)
-	d, c := idx.dist, idx.cnt
-	queue := idx.queue[:0]
-	touched := idx.touched[:0]
+	s := idx.scr
 
-	d[start] = int32(d0)
-	c[start] = c0
-	queue = append(queue, int32(start))
-	touched = append(touched, int32(start))
+	var anchor *label.List
+	if idx.Strategy == Redundancy {
+		if forward {
+			anchor = &idx.Out[vk]
+		} else {
+			anchor = &idx.In[vk]
+		}
+		s.Scatter(anchor)
+		defer s.Unscatter(anchor)
+	}
+	defer s.Reset()
 
-	for head := 0; head < len(queue); head++ {
-		w := int(queue[head])
+	s.Visit(start, int32(d0), c0)
+	s.Queue = append(s.Queue, int32(start))
+
+	for head := 0; head < len(s.Queue); head++ {
+		w := int(s.Queue[head])
 		st.Visited++
 		var dG int
-		if forward {
+		switch {
+		case anchor != nil && forward:
+			dG = s.Probe(&idx.In[w], int(s.Dist[w]))
+		case anchor != nil:
+			dG = s.Probe(&idx.Out[w], int(s.Dist[w]))
+		case forward:
 			dG = label.JoinDist(&idx.Out[vk], &idx.In[w])
-		} else {
+		default:
 			dG = label.JoinDist(&idx.Out[w], &idx.In[vk])
 		}
-		if int(d[w]) > dG {
+		if int(s.Dist[w]) > dG {
 			continue // Case 1: the new edge does not improve vk↔w
 		}
-		idx.updateLabel(vkRank, w, int(d[w]), c[w], forward, st)
+		idx.updateLabel(vkRank, w, int(s.Dist[w]), s.Cnt[w], forward, st)
 		for _, u := range idx.neighbors(w, forward) {
 			switch {
-			case d[u] == -1:
+			case s.Dist[u] == -1:
 				if idx.Ord.Rank(int(u)) > vkRank { // vk ≺ u
-					d[u] = d[w] + 1
-					c[u] = c[w]
-					queue = append(queue, u)
-					touched = append(touched, u)
+					s.Visit(int(u), s.Dist[w]+1, s.Cnt[w])
+					s.Queue = append(s.Queue, u)
 				}
-			case d[u] == d[w]+1:
-				c[u] = bitpack.SatAdd(c[u], c[w]) // Case 2 propagation
+			case s.Dist[u] == s.Dist[w]+1:
+				s.Cnt[u] = bitpack.SatAdd(s.Cnt[u], s.Cnt[w]) // Case 2 propagation
 			}
 		}
 	}
-
-	for _, t := range touched {
-		d[t] = -1
-		c[t] = 0
-	}
-	idx.queue = queue[:0]
-	idx.touched = touched[:0]
 }
 
 // updateLabel is UPDATE LABEL (Algorithm 7) applied to In[w] (forward) or
@@ -144,6 +154,7 @@ func (idx *Index) updateLabel(hubRank, w, dNew int, cNew uint64, inSide bool, st
 		return
 	}
 	lst.Set(bitpack.Pack(hubRank, dNew, cNew))
+	idx.entries++
 	st.EntriesAdded++
 	st.touch(w)
 	if inSide {

@@ -68,6 +68,7 @@ func (idx *Index) removeInEntry(v, hubRank int) bool {
 	if !idx.In[v].Remove(hubRank) {
 		return false
 	}
+	idx.entries--
 	idx.delInvIn(hubRank, v)
 	return true
 }
@@ -77,6 +78,7 @@ func (idx *Index) removeOutEntry(v, hubRank int) bool {
 	if !idx.Out[v].Remove(hubRank) {
 		return false
 	}
+	idx.entries--
 	idx.delInvOut(hubRank, v)
 	return true
 }

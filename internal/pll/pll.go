@@ -14,6 +14,13 @@
 // three-step decremental repair (§V-C), under either the redundancy or the
 // minimality maintenance strategy (§V-B).
 //
+// Construction runs on the fast-path label pipeline: hub-indexed pruning
+// (the prune test probes a rank-indexed scatter of the hub's own label
+// instead of merge-joining two lists), rank-batched parallel hub BFSes
+// whose stages are merged deterministically in rank order (labels are
+// byte-identical to a sequential build), and a post-construction freeze of
+// all label lists into one contiguous CSR arena (label.Arena).
+//
 // An Index is not safe for concurrent mutation. Queries do not mutate and
 // may run concurrently with each other, but not with updates.
 package pll
@@ -56,6 +63,10 @@ type Options struct {
 	// Filtered-out vertices still receive their own self labels. The CSC
 	// scheme uses this to make only V_in vertices hubs.
 	HubFilter func(v int) bool
+	// Workers sets the construction parallelism: 0 uses every core
+	// (runtime.GOMAXPROCS), 1 forces the sequential path. Parallel builds
+	// produce labels byte-identical to sequential ones.
+	Workers int
 }
 
 // BuildStats summarizes a construction run.
@@ -119,146 +130,235 @@ type Index struct {
 	canonical    int
 	nonCanonical int
 
-	// Scratch state shared by all BFS passes.
-	dist    []int32
-	cnt     []uint64
-	queue   []int32
-	touched []int32
+	// entries caches the total label entry count; every mutation path
+	// maintains it so EntryCount/Stats are O(1) instead of walking 2n
+	// lists (the top-k monitor and cscbench call them in loops).
+	entries int
+
+	// arena is the frozen CSR label store, set once construction (or
+	// deserialization) freezes the lists; nil while labels are still
+	// per-vertex allocations.
+	arena *label.Arena
+
+	// reruns counts parallel-construction stages that failed merge-time
+	// validation and were rebuilt sequentially (diagnostics only).
+	reruns int
+
+	// scr is the engine-owned scratch for sequential construction and the
+	// dynamic update passes.
+	scr *Scratch
 }
 
 // NewEmpty allocates an index shell with self-label-free empty lists;
 // internal/csc uses it to run its own specialized construction.
 func NewEmpty(g *graph.Digraph, ord *order.Order) *Index {
 	n := g.NumVertices()
-	idx := &Index{
-		G:    g,
-		Ord:  ord,
-		In:   make([]label.List, n),
-		Out:  make([]label.List, n),
-		dist: make([]int32, n),
-		cnt:  make([]uint64, n),
+	return &Index{
+		G:   g,
+		Ord: ord,
+		In:  make([]label.List, n),
+		Out: make([]label.List, n),
+		scr: NewScratch(n),
 	}
-	for i := range idx.dist {
-		idx.dist[i] = -1
-	}
-	return idx
 }
 
 // Build constructs the full index with pruned counting BFSes in descending
 // rank order (the HP-SPC construction of §II-B generalized with a hub
-// filter).
+// filter), using opts.Workers parallel hub batches, and freezes the labels
+// into the CSR arena.
 func Build(g *graph.Digraph, ord *order.Order, opts Options) (*Index, BuildStats) {
 	start := time.Now()
 	idx := NewEmpty(g, ord)
 	idx.Strategy = opts.Strategy
 	idx.HubFilter = opts.HubFilter
-	n := g.NumVertices()
-	for r := 0; r < n; r++ {
-		v := ord.VertexAt(r)
-		if opts.HubFilter != nil && !opts.HubFilter(v) {
-			self := bitpack.Pack(r, 0, 1)
-			idx.In[v].Append(self)
-			idx.Out[v].Append(self)
-			idx.canonical += 2
-			continue
-		}
-		idx.buildPass(v, r, true)
-		idx.buildPass(v, r, false)
-	}
+	idx.RunConstruction(genericScheme{idx: idx}, opts.Workers)
+	idx.FreezeArena()
 	st := idx.Stats()
 	st.Duration = time.Since(start)
 	return idx, st
 }
 
-// Stats recomputes size statistics from the current label lists.
-func (idx *Index) Stats() BuildStats {
-	var st BuildStats
-	for v := range idx.In {
-		st.Entries += idx.In[v].Len() + idx.Out[v].Len()
-	}
-	st.Bytes = 8 * st.Entries
-	st.Canonical = idx.canonical
-	st.NonCanonical = idx.nonCanonical
-	return st
+// genericScheme adapts the engine's own construction (one forward and one
+// backward pass per hub) to the rank-batched driver.
+type genericScheme struct{ idx *Index }
+
+func (s genericScheme) IsHub(r int) bool {
+	idx := s.idx
+	return idx.HubFilter == nil || idx.HubFilter(idx.Ord.VertexAt(r))
 }
 
-// buildPass runs one pruned counting BFS from hub v (rank r). forward
-// labels in-labels over out-edges; !forward labels out-labels over
-// in-edges (the reverse graph).
-func (idx *Index) buildPass(v, r int, forward bool) {
-	d, c := idx.dist, idx.cnt
-	queue := idx.queue[:0]
-	touched := idx.touched[:0]
+func (s genericScheme) SelfLabels(r int) {
+	idx := s.idx
+	v := idx.Ord.VertexAt(r)
+	self := bitpack.Pack(r, 0, 1)
+	idx.AppendIn(v, self)
+	idx.AppendOut(v, self)
+	idx.canonical += 2
+}
+
+func (s genericScheme) RunPass(r, pass int, sc *Scratch, st *Stage) {
+	s.idx.specPass(s.idx.Ord.VertexAt(r), r, pass == 0, sc, st)
+}
+
+func (s genericScheme) Anchor(r, pass int) *label.List {
+	v := s.idx.Ord.VertexAt(r)
+	if pass == 0 {
+		return &s.idx.Out[v] // forward prune test joins Out[v] with In[w]
+	}
+	return &s.idx.In[v]
+}
+
+// Stats reports size statistics from the maintained counters.
+func (idx *Index) Stats() BuildStats {
+	return BuildStats{
+		Entries:      idx.entries,
+		Bytes:        8 * idx.entries,
+		Canonical:    idx.canonical,
+		NonCanonical: idx.nonCanonical,
+	}
+}
+
+// specPass runs one pruned counting BFS from hub v (rank r) against the
+// current labels, staging every append instead of writing it. forward
+// stages in-labels over out-edges; !forward stages out-labels over
+// in-edges (the reverse graph). The prune test probes the rank-indexed
+// scatter of the hub's own anchor list — Out[v] forward, In[v] backward —
+// against the candidate's list, replacing the per-dequeue merge-join.
+//
+// Mid-pass appends can never influence the pass's own prune tests (each
+// vertex is dequeued exactly once, and its probe happens before its
+// append), so staging is observationally identical to writing through.
+func (idx *Index) specPass(v, r int, forward bool, s *Scratch, st *Stage) {
+	st.Reset(forward, true)
+	anchor := &idx.Out[v]
+	if !forward {
+		anchor = &idx.In[v]
+	}
+	s.Scatter(anchor)
+	defer s.Unscatter(anchor)
+	defer s.Reset()
 
 	// Self label first (Alg 3's first dequeue): never pruned, since any
 	// alternative distance through a higher hub is a cycle of length ≥ 1.
-	self := bitpack.Pack(r, 0, 1)
-	if forward {
-		idx.In[v].Append(self)
-		idx.addInvIn(r, v)
-	} else {
-		idx.Out[v].Append(self)
-		idx.addInvOut(r, v)
-	}
-	idx.canonical++
-	d[v] = 0
-	c[v] = 1
-	touched = append(touched, int32(v))
+	st.Add(v, false, bitpack.Pack(r, 0, 1))
+	st.Canonical(true)
+	s.Visit(v, 0, 1)
 	for _, u := range idx.neighbors(v, forward) {
 		if idx.Ord.Rank(int(u)) > r { // v ≺ u: only lower-ranked vertices join
-			d[u] = 1
-			c[u] = 1
-			queue = append(queue, u)
-			touched = append(touched, u)
+			s.Visit(int(u), 1, 1)
+			s.Queue = append(s.Queue, u)
 		}
 	}
 
-	for head := 0; head < len(queue); head++ {
-		w := int(queue[head])
+	for head := 0; head < len(s.Queue); head++ {
+		w := int(s.Queue[head])
+		dw := int(s.Dist[w])
 		// Distance from v to w (or w to v in reverse) via higher hubs.
 		var dq int
 		if forward {
-			dq = label.JoinDist(&idx.Out[v], &idx.In[w])
+			dq = s.Probe(&idx.In[w], dw)
 		} else {
-			dq = label.JoinDist(&idx.Out[w], &idx.In[v])
+			dq = s.Probe(&idx.Out[w], dw)
 		}
-		if dq < int(d[w]) {
+		if dq < dw {
 			continue // v is not the highest rank on any shortest path
 		}
-		e := bitpack.Pack(r, int(d[w]), c[w])
-		if forward {
-			idx.In[w].Append(e)
-			idx.addInvIn(r, w)
-		} else {
-			idx.Out[w].Append(e)
-			idx.addInvOut(r, w)
-		}
-		if dq == int(d[w]) {
-			idx.nonCanonical++ // some shortest paths run via higher hubs
-		} else {
-			idx.canonical++
-		}
+		st.Add(w, true, bitpack.Pack(r, dw, s.Cnt[w]))
+		// dq == dw: some shortest paths run via higher hubs (non-canonical).
+		st.Canonical(dq != dw)
 		for _, u := range idx.neighbors(w, forward) {
 			switch {
-			case d[u] == -1:
+			case s.Dist[u] == -1:
 				if idx.Ord.Rank(int(u)) > r {
-					d[u] = d[w] + 1
-					c[u] = c[w]
-					queue = append(queue, u)
-					touched = append(touched, u)
+					s.Visit(int(u), s.Dist[w]+1, s.Cnt[w])
+					s.Queue = append(s.Queue, u)
 				}
-			case d[u] == d[w]+1:
-				c[u] = bitpack.SatAdd(c[u], c[w])
+			case s.Dist[u] == s.Dist[w]+1:
+				s.Cnt[u] = bitpack.SatAdd(s.Cnt[u], s.Cnt[w])
 			}
 		}
 	}
+}
 
-	for _, t := range touched {
-		d[t] = -1
-		c[t] = 0
+// AppendIn appends an entry to In[v], maintaining the entry counter and
+// the lazy inverted index. Construction-side use only: the entry's hub
+// must be new to the list.
+func (idx *Index) AppendIn(v int, e bitpack.Entry) {
+	idx.In[v].Append(e)
+	idx.entries++
+	idx.addInvIn(e.Hub(), v)
+}
+
+// AppendOut is the out-side counterpart of AppendIn.
+func (idx *Index) AppendOut(v int, e bitpack.Entry) {
+	idx.Out[v].Append(e)
+	idx.entries++
+	idx.addInvOut(e.Hub(), v)
+}
+
+// commitTrusted appends every staged entry verbatim, trusting the stage's
+// own classification — valid when the pass observed the exact label state
+// a sequential build would have (sequential passes and validated reruns).
+func (idx *Index) commitTrusted(st *Stage) {
+	idx.appendStage(st)
+	idx.canonical += st.canonical
+	idx.nonCanonical += st.nonCanonical
+}
+
+// appendStage appends every staged entry in emission order.
+func (idx *Index) appendStage(st *Stage) {
+	if st.inSide {
+		for _, op := range st.ops {
+			idx.AppendIn(int(op.v), op.e)
+		}
+	} else {
+		for _, op := range st.ops {
+			idx.AppendOut(int(op.v), op.e)
+		}
 	}
-	idx.queue = queue[:0]
-	idx.touched = touched[:0]
+}
+
+// validateCommit re-runs the prune test for every checked staged entry
+// against the *merged* labels (scattering the hub's live anchor list) and
+// commits the stage when all pass. A single failure means an in-batch
+// label would have pruned this BFS mid-flight, so the staged suffix is
+// untrustworthy: the caller must rerun the pass sequentially. Entries that
+// pass re-validation are provably byte-identical to what the sequential
+// pass would emit, because speculative pruning is sound (a snapshot can
+// only under-prune) and BFS expansion is a function of the prune outcomes.
+func (idx *Index) validateCommit(anchor *label.List, st *Stage, s *Scratch) bool {
+	s.Scatter(anchor)
+	defer s.Unscatter(anchor)
+	canonical, nonCanonical := 0, 0
+	for _, op := range st.ops {
+		if !op.checked {
+			if st.classify {
+				canonical++ // self labels are always canonical
+			}
+			continue
+		}
+		d := op.e.Dist()
+		var dq int
+		if st.inSide {
+			dq = s.Probe(&idx.In[op.v], d)
+		} else {
+			dq = s.Probe(&idx.Out[op.v], d)
+		}
+		if dq < d {
+			return false // merged labels prune this entry: stage is stale
+		}
+		if st.classify {
+			if dq != d {
+				canonical++
+			} else {
+				nonCanonical++
+			}
+		}
+	}
+	idx.appendStage(st)
+	idx.canonical += canonical
+	idx.nonCanonical += nonCanonical
+	return true
 }
 
 func (idx *Index) neighbors(w int, forward bool) []int32 {
@@ -268,24 +368,32 @@ func (idx *Index) neighbors(w int, forward bool) []int32 {
 	return idx.G.In(w)
 }
 
-// ensureScratch re-sizes scratch arrays after the graph grew (not used by
-// the current fixed-n workloads but keeps the engine honest).
+// ensureScratch re-sizes the scratch arrays after the graph grew. Every
+// vertex-growth and update entry point must call it before running a
+// pass: the update BFSes index Dist/Cnt by vertex id and the hub scatter
+// by rank.
 func (idx *Index) ensureScratch() {
-	n := idx.G.NumVertices()
-	for len(idx.dist) < n {
-		idx.dist = append(idx.dist, -1)
-		idx.cnt = append(idx.cnt, 0)
-	}
+	idx.scr.Grow(idx.G.NumVertices())
 }
 
-// EntryCount returns the total number of label entries.
-func (idx *Index) EntryCount() int {
-	total := 0
-	for v := range idx.In {
-		total += idx.In[v].Len() + idx.Out[v].Len()
-	}
-	return total
+// FreezeArena packs all label lists into one contiguous CSR arena
+// (label.Arena). Queries and dynamic maintenance keep working unchanged:
+// each list becomes a view of its padded span, growing in place until the
+// pad is exhausted and migrating out transparently afterwards.
+func (idx *Index) FreezeArena() {
+	idx.arena = label.Freeze(idx.In, idx.Out)
 }
+
+// Arena exposes the frozen CSR store, or nil before FreezeArena ran.
+func (idx *Index) Arena() *label.Arena { return idx.arena }
+
+// Reruns reports how many parallel-construction stages failed merge-time
+// validation and were rebuilt sequentially (0 for sequential builds).
+func (idx *Index) Reruns() int { return idx.reruns }
+
+// EntryCount returns the total number of label entries (O(1); the counter
+// is maintained by every mutation path).
+func (idx *Index) EntryCount() int { return idx.entries }
 
 // Bytes returns the label storage footprint in bytes (8 per entry).
-func (idx *Index) Bytes() int { return 8 * idx.EntryCount() }
+func (idx *Index) Bytes() int { return 8 * idx.entries }

@@ -155,9 +155,13 @@ func ReadIndex(r io.Reader) (*Index, error) {
 				}
 				prevHub = ent.Hub()
 				lst.Append(ent)
+				idx.entries++
 			}
 		}
 	}
+	// A loaded index serves the same hot paths as a built one: freeze the
+	// lists into the CSR arena for locality.
+	idx.FreezeArena()
 	return idx, nil
 }
 

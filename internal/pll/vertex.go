@@ -22,16 +22,16 @@ func (idx *Index) AddVertex() (int, error) {
 	r := idx.Ord.Extend(v)
 	idx.In = append(idx.In, label.List{})
 	idx.Out = append(idx.Out, label.List{})
-	self := bitpack.Pack(r, 0, 1)
-	idx.In[v].Append(self)
-	idx.Out[v].Append(self)
-	idx.canonical += 2
 	if idx.invIn != nil {
 		idx.invIn = append(idx.invIn, nil)
 		idx.invOut = append(idx.invOut, nil)
-		idx.addInvIn(r, v)
-		idx.addInvOut(r, v)
 	}
+	self := bitpack.Pack(r, 0, 1)
+	idx.AppendIn(v, self)
+	idx.AppendOut(v, self)
+	idx.canonical += 2
+	// Grow the scratch before any update pass can run: the update BFSes
+	// index Dist/Cnt by the new vertex id and the hub scatter by its rank.
 	idx.ensureScratch()
 	return v, nil
 }
@@ -41,6 +41,7 @@ func (idx *Index) AddVertex() (int, error) {
 // dynamic algorithms go through updateLabel.
 func (idx *Index) SetInEntry(v, hubRank, dist int, count uint64) {
 	if idx.In[v].Set(bitpack.Pack(hubRank, dist, count)) {
+		idx.entries++
 		idx.addInvIn(hubRank, v)
 	}
 }
