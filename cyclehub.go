@@ -32,15 +32,17 @@ package cyclehub
 
 import (
 	"io"
-	"sync"
-	"sync/atomic"
+	"net/http"
+	"time"
 
 	"repro/internal/bfscount"
 	"repro/internal/csc"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/monitor"
 	"repro/internal/order"
 	"repro/internal/pll"
+	"repro/internal/serve"
 )
 
 // Graph is a mutable directed graph over dense vertex ids 0..n-1.
@@ -147,33 +149,18 @@ func (ix *Index) DetachVertex(v int) (int, error) { return ix.x.DetachVertex(v) 
 func (ix *Index) Graph() *Graph { return ix.x.Graph() }
 
 // CycleCountAll evaluates SCCnt for every vertex using the given number
-// of worker goroutines (0 or 1 means sequential). Queries are read-only,
-// so this is safe as long as no update runs concurrently.
+// of worker goroutines (0 uses every core, 1 forces sequential; the count
+// is clamped to the vertex count so tiny graphs never spawn idle
+// goroutines). Queries are read-only, so this is safe as long as no
+// update runs concurrently.
 func (ix *Index) CycleCountAll(workers int) []CycleResult {
-	n := ix.Graph().NumVertices()
-	out := make([]CycleResult, n)
-	if workers <= 1 {
-		for v := 0; v < n; v++ {
-			out[v] = ix.CycleCount(v)
+	lengths, counts := ix.x.CycleCountAll(workers)
+	out := make([]CycleResult, len(lengths))
+	for v := range out {
+		if lengths[v] != bfscount.NoCycle {
+			out[v] = CycleResult{Exists: true, Length: lengths[v], Count: counts[v]}
 		}
-		return out
 	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				v := int(next.Add(1)) - 1
-				if v >= n {
-					return
-				}
-				out[v] = ix.CycleCount(v)
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 
@@ -256,6 +243,217 @@ type RankedVertex struct {
 	Vertex int
 	Result CycleResult
 }
+
+// Engine is the concurrent serving facade over an Index: any number of
+// goroutines may query while a single writer goroutine drains a batched
+// update mailbox — the same subsystem the cscd daemon serves over HTTP.
+// Queries enter cheap reader epochs (a striped RWMutex shard); the writer
+// coalesces redundant ops (insert+delete of the same edge cancels,
+// duplicate inserts dedupe), applies each batch inside a short grace
+// period, and — with WithWAL — appends every applied batch to a
+// write-ahead log with periodic snapshots, so a crashed process recovers
+// its exact pre-crash labels.
+type Engine struct {
+	e     *engine.Engine
+	watch *monitor.TopK
+	k     int
+}
+
+// EngineOption configures NewEngine and OpenEngine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	opts engine.Options
+	dir  string
+	topK int
+}
+
+// WithWAL enables durability: every applied batch is fsynced to a
+// write-ahead log under dir before it mutates the index, with periodic
+// full snapshots (see WithSnapshotEvery). If dir already holds a
+// snapshot/WAL, NewEngine recovers that state instead of using the given
+// index.
+func WithWAL(dir string) EngineOption {
+	return func(c *engineConfig) { c.dir = dir }
+}
+
+// WithTopK attaches a continuously maintained top-k watch, served by
+// Engine.Top and Engine.Score. The watch warms by scoring every vertex
+// and afterwards rescans only the vertices each batch touched.
+func WithTopK(k int) EngineOption {
+	return func(c *engineConfig) { c.topK = k }
+}
+
+// WithBatch tunes write batching: maxOps caps how many ops one grace
+// period applies, and flush bounds how long a partial batch waits for
+// more ops (negative: apply as soon as the mailbox drains).
+func WithBatch(maxOps int, flush time.Duration) EngineOption {
+	return func(c *engineConfig) {
+		c.opts.MaxBatch = maxOps
+		c.opts.FlushInterval = flush
+	}
+}
+
+// WithSnapshotEvery sets how many applied batches elapse between full
+// snapshots (default 64; a negative value disables periodic snapshots,
+// leaving the WAL as the only durability). Only meaningful together
+// with WithWAL.
+func WithSnapshotEvery(batches int) EngineOption {
+	return func(c *engineConfig) { c.opts.SnapshotEvery = batches }
+}
+
+// WithMailbox sets the update mailbox capacity (default 4096). A full
+// mailbox applies backpressure: InsertEdge/DeleteEdge block.
+func WithMailbox(n int) EngineOption {
+	return func(c *engineConfig) { c.opts.MailboxSize = n }
+}
+
+// NewEngine wraps an index in a serving engine and starts its writer.
+// The engine owns the index from here on: mutate only through the
+// engine's methods. With WithWAL, a non-empty store directory wins over
+// ix (the recovered state is served); use OpenEngine to avoid building
+// an index that recovery would discard.
+func NewEngine(ix *Index, options ...EngineOption) (*Engine, error) {
+	return buildEngine(func() (*Index, error) { return ix, nil }, options)
+}
+
+// OpenEngine recovers an engine from a WAL directory, calling bootstrap
+// only when the store is empty. The WAL directory is dir regardless of
+// any WithWAL option.
+func OpenEngine(dir string, bootstrap func() (*Index, error), options ...EngineOption) (*Engine, error) {
+	options = append(options, WithWAL(dir))
+	return buildEngine(bootstrap, options)
+}
+
+func buildEngine(bootstrap func() (*Index, error), options []EngineOption) (*Engine, error) {
+	var cfg engineConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	var core *engine.Engine
+	if cfg.dir != "" {
+		var err error
+		core, err = engine.Open(cfg.dir, func() (*csc.Index, error) {
+			ix, err := bootstrap()
+			if err != nil {
+				return nil, err
+			}
+			return ix.x, nil
+		}, cfg.opts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ix, err := bootstrap()
+		if err != nil {
+			return nil, err
+		}
+		core = engine.New(ix.x, cfg.opts)
+	}
+	e := &Engine{e: core, k: cfg.topK}
+	if cfg.topK > 0 {
+		e.watch = core.WatchTopK(cfg.topK)
+	}
+	return e, nil
+}
+
+// CycleCount answers SCCnt(v) concurrently with updates. Out-of-range
+// vertices report no cycle.
+func (e *Engine) CycleCount(v int) CycleResult {
+	l, c := e.e.CycleCount(v)
+	if l == bfscount.NoCycle {
+		return CycleResult{}
+	}
+	return CycleResult{Exists: true, Length: l, Count: c}
+}
+
+// InsertEdge enqueues an edge insertion. It returns once the op is
+// mailed, not once it is applied — call Flush for read-your-writes.
+// Inserting an edge that already exists is accepted and coalesced away.
+func (e *Engine) InsertEdge(a, b int) error { return e.e.Insert(a, b) }
+
+// DeleteEdge enqueues an edge deletion, with the same asynchrony and
+// coalescing as InsertEdge.
+func (e *Engine) DeleteEdge(a, b int) error { return e.e.Delete(a, b) }
+
+// Flush blocks until everything enqueued before the call is applied and
+// queryable (and WAL-durable, with WithWAL).
+func (e *Engine) Flush() { e.e.Flush() }
+
+// Snapshot flushes and writes a full snapshot, truncating the WAL.
+func (e *Engine) Snapshot() error { return e.e.Snapshot() }
+
+// Close drains the mailbox, applies what remains, syncs the store, and
+// stops the writer. The engine cannot be reused afterwards.
+func (e *Engine) Close() error { return e.e.Close() }
+
+// NumVertices returns the (fixed) number of vertices served.
+func (e *Engine) NumVertices() int { return e.e.NumVertices() }
+
+// Top returns the current top-k ranking (empty without WithTopK).
+func (e *Engine) Top() []RankedVertex {
+	if e.watch == nil {
+		return nil
+	}
+	var out []RankedVertex
+	for _, s := range e.watch.Top() {
+		out = append(out, RankedVertex{
+			Vertex: s.Vertex,
+			Result: CycleResult{Exists: true, Length: s.Length, Count: s.Count},
+		})
+	}
+	return out
+}
+
+// Score returns the watched standing of one vertex (zero without
+// WithTopK).
+func (e *Engine) Score(v int) CycleResult {
+	if e.watch == nil {
+		return CycleResult{}
+	}
+	s := e.watch.Score(v)
+	if !s.Exists {
+		return CycleResult{}
+	}
+	return CycleResult{Exists: true, Length: s.Length, Count: s.Count}
+}
+
+// EngineStats is a point-in-time counter snapshot of a serving engine.
+type EngineStats struct {
+	// Vertices and Edges describe the served graph; Entries and
+	// LabelBytes the label footprint.
+	Vertices, Edges, Entries, LabelBytes int
+	// Queries counts CycleCount calls; OpsEnqueued/Applied/Coalesced/
+	// Rejected track the mailbox; Batches and Seq count applied batches;
+	// Snapshots and WALBytes describe the store.
+	Queries, OpsEnqueued, OpsApplied, OpsCoalesced, OpsRejected uint64
+	Batches, Seq, Snapshots                                     uint64
+	WALBytes                                                    int64
+}
+
+// Stats snapshots the engine counters; safe concurrently with updates.
+func (e *Engine) Stats() EngineStats {
+	s := e.e.Stats()
+	return EngineStats{
+		Vertices: s.Vertices, Edges: s.Edges, Entries: s.Entries, LabelBytes: s.LabelBytes,
+		Queries: s.Queries, OpsEnqueued: s.OpsEnqueued, OpsApplied: s.OpsApplied,
+		OpsCoalesced: s.OpsCoalesced, OpsRejected: s.OpsRejected,
+		Batches: s.Batches, Seq: s.Seq, Snapshots: s.Snapshots, WALBytes: s.WALBytes,
+	}
+}
+
+// Err reports the first durability error, if any; the engine keeps
+// serving in memory after one.
+func (e *Engine) Err() error { return e.e.Err() }
+
+// WriteTo flushes pending batches and serializes the served index (the
+// same format as Index.WriteTo) without blocking concurrent readers.
+func (e *Engine) WriteTo(w io.Writer) (int64, error) { return e.e.WriteTo(w) }
+
+// Handler returns the engine's HTTP+JSON API — the same surface the cscd
+// daemon listens on (GET /cycle/{v}, GET /top, POST and DELETE /edges,
+// GET /stats, GET /healthz; see internal/serve for the wire format).
+func (e *Engine) Handler() http.Handler { return serve.Handler(e.e, e.watch, e.k) }
 
 // CycleCountBFS answers SCCnt(v) without an index by the paper's BFS
 // baseline (Algorithm 1) in O(n+m) time. Useful for one-off queries or

@@ -193,3 +193,113 @@ func TestUpdateErrorsSurface(t *testing.T) {
 		t.Error("missing delete accepted")
 	}
 }
+
+// Workers beyond the vertex count are clamped — a 3-vertex graph queried
+// with 64 workers must not misbehave (and must not spawn 61 idle
+// goroutines, which the clamp in csc.CycleCountAll guarantees).
+func TestCycleCountAllClampsWorkers(t *testing.T) {
+	idx := buildTriangle(t)
+	res := idx.CycleCountAll(64)
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for v := 0; v < 3; v++ {
+		if !res[v].Exists || res[v].Length != 3 {
+			t.Fatalf("vertex %d: %+v", v, res[v])
+		}
+	}
+	if res[3].Exists {
+		t.Fatalf("vertex 3 off-cycle: %+v", res[3])
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	g, _ := GraphFromEdges(5, [][2]int{{0, 1}})
+	e, err := NewEngine(BuildIndex(g), WithTopK(2), WithBatch(8, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	for _, p := range [][2]int{{1, 2}, {2, 0}, {0, 1}} { // last one is redundant
+		if err := e.InsertEdge(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	if r := e.CycleCount(0); !r.Exists || r.Length != 3 {
+		t.Fatalf("CycleCount(0) = %+v", r)
+	}
+	if r := e.CycleCount(99); r.Exists {
+		t.Fatalf("out-of-range = %+v", r)
+	}
+	top := e.Top()
+	if len(top) != 2 || !top[0].Result.Exists {
+		t.Fatalf("Top = %+v", top)
+	}
+	if s := e.Score(0); !s.Exists || s.Length != 3 {
+		t.Fatalf("Score(0) = %+v", s)
+	}
+	if s := e.Score(99); s.Exists { // out of range: no panic, no score
+		t.Fatalf("Score(99) = %+v", s)
+	}
+	st := e.Stats()
+	if st.OpsEnqueued != 3 || st.OpsApplied != 2 || st.OpsCoalesced != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := e.DeleteEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if r := e.CycleCount(0); r.Exists {
+		t.Fatalf("cycle should be broken: %+v", r)
+	}
+}
+
+func TestEngineFacadeWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() (*Index, error) {
+		g, _ := GraphFromEdges(4, [][2]int{{0, 1}})
+		return BuildIndex(g), nil
+	}
+	e, err := OpenEngine(dir, boot, WithBatch(4, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]int{{1, 2}, {2, 0}} {
+		if err := e.InsertEdge(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	var before bytes.Buffer
+	if _, err := e.WriteTo(&before); err != nil {
+		t.Fatal(err)
+	}
+	// "Kill" (Close persists nothing new — no final snapshot, per-batch
+	// WAL fsyncs — it only releases the store lock, as process death
+	// would), then reopen: bootstrap runs again (no snapshot yet) and the
+	// WAL replays on top, so bytes match the pre-kill engine.
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := OpenEngine(dir, boot, WithBatch(4, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	var after bytes.Buffer
+	if _, err := e2.WriteTo(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("recovered engine serialization differs from pre-kill state")
+	}
+	if r := e2.CycleCount(1); !r.Exists || r.Length != 3 {
+		t.Fatalf("recovered CycleCount(1) = %+v", r)
+	}
+	// HTTP handler mounts over the facade.
+	if e2.Handler() == nil {
+		t.Fatal("nil handler")
+	}
+}

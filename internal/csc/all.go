@@ -1,0 +1,50 @@
+package csc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CycleCountAll evaluates SCCnt(v) for every vertex and returns the
+// per-vertex lengths (bfscount.NoCycle for cycle-free vertices) and
+// counts. workers sets the parallelism: 0 uses every core, and any value
+// is clamped to the vertex count so tiny graphs never spawn idle
+// goroutines. Queries are read-only, so this is safe as long as no update
+// runs concurrently — the serving engine calls it for its startup warm
+// pass before any batch applies, and the top-k monitor for its initial
+// scoreboard.
+func (x *Index) CycleCountAll(workers int) (lengths []int, counts []uint64) {
+	n := x.g.NumVertices()
+	lengths = make([]int, n)
+	counts = make([]uint64, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			lengths[v], counts[v] = x.CycleCount(v)
+		}
+		return lengths, counts
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := int(next.Add(1)) - 1
+				if v >= n {
+					return
+				}
+				lengths[v], counts[v] = x.CycleCount(v)
+			}
+		}()
+	}
+	wg.Wait()
+	return lengths, counts
+}

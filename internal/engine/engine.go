@@ -1,0 +1,612 @@
+// Package engine turns a csc.Index into a concurrent serving system: any
+// number of reader goroutines answer SCCnt queries while one writer
+// goroutine drains a batched update mailbox, coalesces redundant edge
+// operations against the live graph, applies each batch inside a short
+// grace period, and — when a store directory is configured — appends
+// every applied batch to a write-ahead log with periodic full snapshots,
+// so a killed process recovers its exact pre-crash labels by replaying
+// WAL-over-snapshot (wal.go documents the on-disk format).
+//
+// Reads enter cheap epochs by read-locking one shard of a cache-line
+// padded striped RWMutex (stripe.go); the writer's grace period locks
+// every shard. Consumers that must follow updates (the top-k monitor)
+// ride the post-batch hook: it runs on the writer goroutine after the
+// grace period ends, so it reads a quiescent index without blocking
+// readers.
+package engine
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfscount"
+	"repro/internal/bipartite"
+	"repro/internal/csc"
+	"repro/internal/graph"
+	"repro/internal/monitor"
+	"repro/internal/pll"
+)
+
+// OpKind discriminates mailbox operations.
+type OpKind uint8
+
+const (
+	// OpInsert inserts a directed edge.
+	OpInsert OpKind = 1
+	// OpDelete deletes a directed edge.
+	OpDelete OpKind = 2
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return "?"
+}
+
+// Op is one edge operation in the update mailbox.
+type Op struct {
+	Kind OpKind
+	A, B int32
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures New/Open. The zero value gives serving defaults.
+type Options struct {
+	// MailboxSize is the update channel's buffer (default 4096). A full
+	// mailbox applies backpressure: enqueues block.
+	MailboxSize int
+	// MaxBatch caps how many ops one grace period applies (default 256).
+	MaxBatch int
+	// FlushInterval bounds how long a partial batch may wait for more ops
+	// before applying (default 2ms). Negative means apply as soon as the
+	// mailbox drains, without waiting at all.
+	FlushInterval time.Duration
+	// SnapshotEvery writes a full snapshot (and truncates the WAL) every
+	// that many applied batches (default 64; negative disables periodic
+	// snapshots, leaving the WAL as the only durability). Only meaningful
+	// with a store.
+	SnapshotEvery int
+	// Workers bounds the warm/rescore parallelism of WatchTopK (0 = all
+	// cores; always clamped to the vertex count).
+	Workers int
+}
+
+func (o *Options) fill() {
+	if o.MailboxSize <= 0 {
+		o.MailboxSize = 4096
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 64
+	}
+}
+
+// Stats is a point-in-time engine counter snapshot, JSON-ready for the
+// daemon's /stats endpoint.
+type Stats struct {
+	Vertices     int    `json:"vertices"`
+	Edges        int    `json:"edges"`
+	Entries      int    `json:"entries"`
+	LabelBytes   int    `json:"label_bytes"`
+	Queries      uint64 `json:"queries"`
+	OpsEnqueued  uint64 `json:"ops_enqueued"`
+	OpsApplied   uint64 `json:"ops_applied"`
+	OpsCoalesced uint64 `json:"ops_coalesced"`
+	OpsRejected  uint64 `json:"ops_rejected"`
+	Batches      uint64 `json:"batches"`
+	Seq          uint64 `json:"seq"`
+	Snapshots    uint64 `json:"snapshots"`
+	WALBytes     int64  `json:"wal_bytes,omitempty"`
+	Err          string `json:"error,omitempty"`
+}
+
+// Engine serves one csc.Index under the single-writer / many-reader
+// protocol.
+type Engine struct {
+	ix   *csc.Index
+	n    int
+	lock *stripedRW
+	opts Options
+
+	mail chan Op
+	ctl  chan ctlReq
+	quit chan struct{}
+	done chan struct{}
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+
+	store *Store
+	seq   atomic.Uint64
+
+	hookMu sync.Mutex
+	hooks  []func(applied []Op, touched []int)
+
+	queries             []paddedCount // striped like the lock shards
+	enqueued, applied   atomic.Uint64
+	coalesced, rejected atomic.Uint64
+	batches, snaps      atomic.Uint64
+	walBytes            atomic.Int64
+
+	errMu sync.Mutex
+	errv  error // first durability error; nil again after a clean snapshot
+
+	// Writer-goroutine state.
+	pending   []Op
+	sinceSnap int
+}
+
+type ctlReq struct {
+	fn  func() error
+	ack chan error
+}
+
+// New wraps an index in an in-memory engine (no durability) and starts
+// its writer goroutine. The engine owns the index from here on: mutate it
+// only through Insert/Delete, query it through CycleCount.
+func New(ix *csc.Index, opts Options) *Engine {
+	return start(ix, nil, 0, opts)
+}
+
+// Open recovers (or bootstraps) an engine from a store directory: the
+// snapshot is loaded if one exists — bootstrap is only called for a fresh
+// store — and WAL batches beyond it are replayed before serving starts.
+// Every batch the returned engine applies is WAL-logged before it
+// mutates the index.
+func Open(dir string, bootstrap func() (*csc.Index, error), opts Options) (*Engine, error) {
+	st, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	ix, seq, err := st.Recover(bootstrap)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return start(ix, st, seq, opts), nil
+}
+
+func start(ix *csc.Index, st *Store, seq uint64, opts Options) *Engine {
+	opts.fill()
+	lock := newStripedRW()
+	e := &Engine{
+		ix:      ix,
+		n:       ix.Graph().NumVertices(),
+		lock:    lock,
+		opts:    opts,
+		mail:    make(chan Op, opts.MailboxSize),
+		ctl:     make(chan ctlReq),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		store:   st,
+		queries: make([]paddedCount, len(lock.shards)),
+	}
+	e.seq.Store(seq)
+	if st != nil {
+		e.walBytes.Store(st.WALBytes())
+	}
+	go e.run()
+	return e
+}
+
+// NumVertices returns the (fixed) vertex count served.
+func (e *Engine) NumVertices() int { return e.n }
+
+// Index exposes the underlying index. The caller must only read it, and
+// only while no batch can be applying (after Flush with no concurrent
+// enqueuers, or from a post-batch hook).
+func (e *Engine) Index() *csc.Index { return e.ix }
+
+// Seq returns the sequence number of the last applied batch.
+func (e *Engine) Seq() uint64 { return e.seq.Load() }
+
+// Err returns the first WAL/snapshot error, if any. A non-nil error
+// means the engine keeps serving and applying in memory but durability
+// is suspended: no further WAL appends happen (a partial WAL with a
+// sequence gap would replay into silently wrong state), and only a
+// successful Snapshot — which persists the full current state and
+// truncates the WAL — restores durability and clears the error.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.errv
+}
+
+func (e *Engine) setErr(err error) {
+	if err == nil {
+		return
+	}
+	e.errMu.Lock()
+	if e.errv == nil {
+		e.errv = err
+	}
+	e.errMu.Unlock()
+}
+
+func (e *Engine) clearErr() {
+	e.errMu.Lock()
+	e.errv = nil
+	e.errMu.Unlock()
+}
+
+// CycleCount answers SCCnt(v) inside a reader epoch: the length of the
+// shortest cycles through v (bfscount.NoCycle when none, or when v is out
+// of range) and their number. Safe from any goroutine, concurrently with
+// updates.
+func (e *Engine) CycleCount(v int) (length int, count uint64) {
+	if v < 0 || v >= e.n {
+		return bfscount.NoCycle, 0
+	}
+	e.queries[uint32(v)&e.lock.mask].n.Add(1)
+	m := e.lock.rlock(uint32(v))
+	length, count = e.ix.CycleCount(v)
+	m.RUnlock()
+	return length, count
+}
+
+// Insert enqueues an edge insertion. It blocks while the mailbox is full
+// (backpressure) and returns without waiting for the batch to apply; use
+// Flush for read-your-writes.
+func (e *Engine) Insert(a, b int) error { return e.EnqueueEdge(OpInsert, a, b) }
+
+// Delete enqueues an edge deletion.
+func (e *Engine) Delete(a, b int) error { return e.EnqueueEdge(OpDelete, a, b) }
+
+// EnqueueEdge validates full-width vertex ids and mails one op. The
+// range check runs before the Op's int32 narrowing, so an id ≥ 2³² from
+// an untrusted client is rejected instead of wrapping onto a small valid
+// vertex.
+func (e *Engine) EnqueueEdge(kind OpKind, a, b int) error {
+	if a < 0 || a >= e.n || b < 0 || b >= e.n {
+		return graph.ErrVertexRange
+	}
+	return e.Enqueue(Op{Kind: kind, A: int32(a), B: int32(b)})
+}
+
+// Enqueue validates and mails one op. Redundant ops (inserting a present
+// edge, deleting an absent one, insert+delete pairs in the same batch)
+// are accepted here and coalesced away before the batch applies.
+func (e *Engine) Enqueue(op Op) error {
+	if op.Kind != OpInsert && op.Kind != OpDelete {
+		return errors.New("engine: unknown op kind")
+	}
+	a, b := int(op.A), int(op.B)
+	if a < 0 || a >= e.n || b < 0 || b >= e.n {
+		return graph.ErrVertexRange
+	}
+	if a == b {
+		return graph.ErrSelfLoop
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.enqueued.Add(1)
+	select {
+	case e.mail <- op:
+		return nil
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+// Flush applies everything enqueued before the call and returns once it
+// is queryable (and, with a store, WAL-durable).
+func (e *Engine) Flush() { _ = e.do(nil) }
+
+// Snapshot flushes and writes a full snapshot, truncating the WAL.
+func (e *Engine) Snapshot() error {
+	return e.do(func() error { return e.snapshotNow() })
+}
+
+// WriteTo flushes pending batches and serializes the index. It implements
+// the same format as csc.Index.WriteTo; the write happens on the writer
+// goroutine, so it sees a quiescent index while readers keep serving.
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	err := e.do(func() error {
+		var werr error
+		n, werr = e.ix.WriteTo(w)
+		return werr
+	})
+	return n, err
+}
+
+// do runs fn on the writer goroutine after draining and applying the
+// mailbox.
+func (e *Engine) do(fn func() error) error {
+	req := ctlReq{fn: fn, ack: make(chan error, 1)}
+	select {
+	case e.ctl <- req:
+		return <-req.ack
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+// OnBatch registers a post-batch hook: it runs on the writer goroutine
+// after each batch's grace period ends, with the applied (coalesced) ops
+// and the sorted original-graph vertices whose query answers the batch
+// may have changed. Hooks must not block for long — the mailbox stalls
+// while they run — and must not mutate the engine. Register hooks before
+// the first enqueue.
+func (e *Engine) OnBatch(fn func(applied []Op, touched []int)) {
+	e.hookMu.Lock()
+	e.hooks = append(e.hooks, fn)
+	e.hookMu.Unlock()
+}
+
+// WatchTopK attaches a continuously maintained top-k scoreboard: the
+// monitor warms by scoring every vertex (csc.CycleCountAll with the
+// engine's Workers option, clamped to the vertex count) and then rides
+// the post-batch hook, rescoring exactly the touched vertices after each
+// batch. Attach before the first enqueue. The returned monitor's Score
+// and Top are safe concurrently with updates; do not route updates
+// through it.
+func (e *Engine) WatchTopK(k int) *monitor.TopK {
+	m := monitor.NewParallel(e.ix, k, e.opts.Workers)
+	e.OnBatch(func(_ []Op, touched []int) { m.Rescore(touched) })
+	return m
+}
+
+// Stats snapshots the engine counters. Index-size fields are read inside
+// a reader epoch, so it is safe concurrently with updates.
+func (e *Engine) Stats() Stats {
+	var queries uint64
+	for i := range e.queries {
+		queries += e.queries[i].n.Load()
+	}
+	st := Stats{
+		Queries:      queries,
+		OpsEnqueued:  e.enqueued.Load(),
+		OpsApplied:   e.applied.Load(),
+		OpsCoalesced: e.coalesced.Load(),
+		OpsRejected:  e.rejected.Load(),
+		Batches:      e.batches.Load(),
+		Seq:          e.seq.Load(),
+		Snapshots:    e.snaps.Load(),
+	}
+	if e.store != nil {
+		st.WALBytes = e.walBytes.Load()
+	}
+	if err := e.Err(); err != nil {
+		st.Err = err.Error()
+	}
+	m := e.lock.rlock(0)
+	st.Vertices = e.n
+	st.Edges = e.ix.Graph().NumEdges()
+	st.Entries = e.ix.EntryCount()
+	st.LabelBytes = e.ix.Bytes()
+	m.RUnlock()
+	return st
+}
+
+// Close drains and applies the mailbox, syncs and closes the store, and
+// stops the writer. It does not write a final snapshot (recovery replays
+// the WAL); call Snapshot first for a fast next startup. Ops enqueued
+// concurrently with Close may be dropped.
+func (e *Engine) Close() error {
+	e.closed.Store(true)
+	e.closeOnce.Do(func() { close(e.quit) })
+	<-e.done
+	return e.Err()
+}
+
+// run is the writer goroutine: the only code that mutates the index.
+func (e *Engine) run() {
+	defer close(e.done)
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			timerC = nil
+		}
+	}
+	flushAll := func() {
+		for {
+			e.drainMail()
+			if len(e.pending) == 0 {
+				break
+			}
+			e.applyPending()
+		}
+		stopTimer()
+	}
+	for {
+		select {
+		case op := <-e.mail:
+			e.pending = append(e.pending, op)
+			e.drainMail()
+			switch {
+			case len(e.pending) >= e.opts.MaxBatch || e.opts.FlushInterval < 0:
+				e.applyPending()
+				stopTimer()
+			case timerC == nil:
+				timer = time.NewTimer(e.opts.FlushInterval)
+				timerC = timer.C
+			}
+		case <-timerC:
+			timer = nil
+			timerC = nil
+			e.applyPending()
+		case req := <-e.ctl:
+			flushAll()
+			var err error
+			if req.fn != nil {
+				err = req.fn()
+			}
+			req.ack <- err
+		case <-e.quit:
+			flushAll()
+			if e.store != nil {
+				if err := e.store.Close(); err != nil {
+					e.setErr(err)
+				}
+			}
+			return
+		}
+	}
+}
+
+// drainMail moves immediately available ops into pending, up to MaxBatch.
+func (e *Engine) drainMail() {
+	for len(e.pending) < e.opts.MaxBatch {
+		select {
+		case op := <-e.mail:
+			e.pending = append(e.pending, op)
+		default:
+			return
+		}
+	}
+}
+
+// applyPending coalesces the pending ops into their net batch, logs it,
+// applies it under the grace period, and fires the post-batch hooks.
+func (e *Engine) applyPending() {
+	if len(e.pending) == 0 {
+		return
+	}
+	batch := e.coalesce()
+	e.coalesced.Add(uint64(len(e.pending) - len(batch)))
+	e.pending = e.pending[:0]
+	if len(batch) == 0 {
+		return
+	}
+	seq := e.seq.Load() + 1
+	// Once a WAL write has failed, stop appending: a WAL with a sequence
+	// gap would replay into silently wrong state, which is worse than an
+	// honestly suspended log (Err is surfaced; a successful Snapshot
+	// resumes durability from a clean base).
+	if e.store != nil && e.Err() == nil {
+		if err := e.store.Append(seq, batch); err != nil {
+			e.setErr(err)
+		}
+		e.walBytes.Store(e.store.WALBytes())
+	}
+	touched := e.apply(batch)
+	e.seq.Store(seq)
+	e.batches.Add(1)
+	e.applied.Add(uint64(len(batch)))
+	e.hookMu.Lock()
+	hooks := e.hooks
+	e.hookMu.Unlock()
+	for _, h := range hooks {
+		h(batch, touched)
+	}
+	if e.store != nil && e.opts.SnapshotEvery > 0 {
+		e.sinceSnap++
+		if e.sinceSnap >= e.opts.SnapshotEvery {
+			_ = e.snapshotNow()
+		}
+	}
+}
+
+// coalesce reduces pending to its net effect against the live graph:
+// inserting a present edge or deleting an absent one drops, and
+// insert/delete pairs of the same edge cancel, whichever order they
+// arrived in. One op per surviving edge remains, in first-touch order.
+// Reading the graph here is safe: only the writer mutates it, and
+// concurrent readers never do.
+func (e *Engine) coalesce() []Op {
+	g := e.ix.Graph()
+	base := make(map[uint64]bool, len(e.pending))
+	eff := make(map[uint64]bool, len(e.pending))
+	order := make([]uint64, 0, len(e.pending))
+	for _, op := range e.pending {
+		k := uint64(uint32(op.A))<<32 | uint64(uint32(op.B))
+		cur, seen := eff[k]
+		if !seen {
+			cur = g.HasEdge(int(op.A), int(op.B))
+			base[k] = cur
+			eff[k] = cur
+			order = append(order, k)
+		}
+		if want := op.Kind == OpInsert; want != cur {
+			eff[k] = want
+		}
+	}
+	batch := make([]Op, 0, len(order))
+	for _, k := range order {
+		if eff[k] == base[k] {
+			continue
+		}
+		op := Op{Kind: OpDelete, A: int32(k >> 32), B: int32(uint32(k))}
+		if eff[k] {
+			op.Kind = OpInsert
+		}
+		batch = append(batch, op)
+	}
+	return batch
+}
+
+// apply runs one batch inside the grace period and returns the sorted
+// original-graph vertices whose labels (or incident edges) it touched.
+func (e *Engine) apply(batch []Op) []int {
+	touched := make(map[int]struct{}, 2*len(batch))
+	e.lock.lockAll()
+	for _, op := range batch {
+		a, b := int(op.A), int(op.B)
+		var st pll.UpdateStats
+		var err error
+		if op.Kind == OpInsert {
+			st, err = e.ix.InsertEdge(a, b)
+		} else {
+			st, err = e.ix.DeleteEdge(a, b)
+		}
+		if err != nil {
+			// Coalescing computed the batch against the live graph, so this
+			// is unreachable short of index corruption; count it and move on.
+			e.rejected.Add(1)
+			continue
+		}
+		touched[a] = struct{}{}
+		touched[b] = struct{}{}
+		for _, o := range st.TouchedOwners {
+			touched[bipartite.Original(int(o))] = struct{}{}
+		}
+	}
+	e.lock.unlockAll()
+	out := make([]int, 0, len(touched))
+	for v := range touched {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// snapshotNow persists a snapshot at the current sequence number. It runs
+// on the writer goroutine, which is the only mutator, so serialization
+// reads a quiescent index without holding the grace-period lock: readers
+// keep querying throughout.
+func (e *Engine) snapshotNow() error {
+	if e.store == nil {
+		return errors.New("engine: no store configured")
+	}
+	if err := e.store.WriteSnapshot(e.seq.Load(), e.ix); err != nil {
+		e.setErr(err)
+		return err
+	}
+	e.walBytes.Store(e.store.WALBytes())
+	e.sinceSnap = 0
+	e.snaps.Add(1)
+	// The snapshot persisted the complete current state and truncated the
+	// WAL, so a durability suspension (failed earlier append) is healed.
+	e.clearErr()
+	return nil
+}

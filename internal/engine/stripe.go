@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// stripedRW is the engine's reader-epoch primitive: a set of
+// cache-line-padded RWMutex shards. A reader enters its epoch by
+// read-locking a single shard (picked from the query vertex, so readers
+// for different vertices touch different cache lines); the writer's grace
+// period is write-locking every shard in ascending order, which waits out
+// every in-flight reader and blocks new ones until the batch is applied.
+//
+// This is the "sharded RWMutex" arm of the serving-engine design.
+// BenchmarkEpochRead / BenchmarkSingleRWMutexRead in engine_test.go
+// measure it against a single sync.RWMutex: on one core the two are
+// within noise (an uncontended RLock is an uncontended RLock), and with
+// GOMAXPROCS readers the single lock serializes every reader on one
+// shared reader-count cache line while shards keep readers on their own
+// lines — run the pair with -cpu to see the gap on your box.
+type stripedRW struct {
+	shards []paddedRW
+	mask   uint32
+}
+
+type paddedRW struct {
+	sync.RWMutex
+	_ [128 - unsafe.Sizeof(sync.RWMutex{})%128]byte
+}
+
+// paddedCount is a cache-line-padded counter, striped like the lock
+// shards: the hot read path bumps its own shard's counter so the query
+// tally never puts all readers back on one shared cache line (which
+// would undo what the lock striping buys).
+type paddedCount struct {
+	n atomic.Uint64
+	_ [128 - 8]byte
+}
+
+// newStripedRW sizes the stripe to the core count, rounded up to a power
+// of two and clamped to [1, 64]: more shards than cores buys nothing and
+// only lengthens the writer's lock sweep.
+func newStripedRW() *stripedRW {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return &stripedRW{shards: make([]paddedRW, n), mask: uint32(n - 1)}
+}
+
+// rlock enters a reader epoch on the shard h hashes to and returns the
+// shard so the caller can leave it.
+func (l *stripedRW) rlock(h uint32) *sync.RWMutex {
+	m := &l.shards[h&l.mask].RWMutex
+	m.RLock()
+	return m
+}
+
+// lockAll begins the writer's grace period: after it returns, every
+// reader that entered before the call has left and none can enter.
+func (l *stripedRW) lockAll() {
+	for i := range l.shards {
+		l.shards[i].Lock()
+	}
+}
+
+// unlockAll ends the grace period, releasing shards in reverse order.
+func (l *stripedRW) unlockAll() {
+	for i := len(l.shards) - 1; i >= 0; i-- {
+		l.shards[i].Unlock()
+	}
+}

@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/csc"
+)
+
+// Durability layout: a store directory holds at most two files.
+//
+//	snapshot.csc  "CSCSNAP1" + seq uint64 + csc.Index.WriteTo bytes
+//	wal.log       "CSCWAL01" + a sequence of batch records
+//
+// One WAL record (little endian):
+//
+//	seq   uint64   batch sequence number, strictly increasing
+//	count uint32   number of ops
+//	ops   count ×  { kind uint8, a uint32, b uint32 }
+//	crc   uint32   CRC-32C over the record bytes from seq through ops
+//
+// Every applied batch is appended and fsynced before the batch mutates
+// the index (write-ahead), so a killed process recovers its exact state
+// by loading the snapshot and replaying the records with larger sequence
+// numbers. A torn final record (crash mid-append) is detected by the CRC
+// and truncated away; records at or below the snapshot's sequence number
+// (crash between snapshot rename and WAL truncation) are skipped.
+
+const (
+	snapshotFile = "snapshot.csc"
+	walFile      = "wal.log"
+	walHeaderLen = 8
+	recordFixed  = 8 + 4 + 4 // seq + count + crc
+	opBytes      = 9         // kind + a + b
+	// maxBatchOps bounds a decoded record's op count so a corrupt length
+	// field cannot drive a huge allocation.
+	maxBatchOps = 1 << 22
+)
+
+var (
+	walMagic  = [8]byte{'C', 'S', 'C', 'W', 'A', 'L', '0', '1'}
+	snapMagic = [8]byte{'C', 'S', 'C', 'S', 'N', 'A', 'P', '1'}
+
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+	// ErrCorruptStore reports a store directory whose snapshot or WAL
+	// cannot be trusted (beyond an ordinary torn tail, which is repaired
+	// silently).
+	ErrCorruptStore = errors.New("engine: corrupt store")
+)
+
+// Store is the engine's durability directory: one snapshot plus the WAL
+// of batches applied since. All methods are called from the engine's
+// writer goroutine only.
+type Store struct {
+	dir      string
+	wal      *os.File
+	walBytes int64
+	scratch  bytes.Buffer
+}
+
+// OpenStore opens (creating if needed) a store directory and takes an
+// exclusive advisory lock on the WAL: two processes appending to and
+// replaying the same log would interleave bytes mid-record and the
+// second's acknowledged batches would read as a torn tail. The lock is
+// released when the file closes — including by process death, which is
+// what makes kill-and-restart safe. Call Recover to load the state.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: store %s is locked by another process: %w", dir, err)
+	}
+	return &Store{dir: dir, wal: f}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WALBytes returns the current WAL file size.
+func (s *Store) WALBytes() int64 { return s.walBytes }
+
+// Recover loads the snapshot (or bootstraps a fresh index when none
+// exists) and replays every WAL batch past the snapshot's sequence
+// number, returning the recovered index and the last applied sequence
+// number. A torn WAL tail is truncated; the WAL is left positioned for
+// appending.
+func (s *Store) Recover(bootstrap func() (*csc.Index, error)) (*csc.Index, uint64, error) {
+	ix, seq, err := s.loadSnapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	if ix == nil {
+		if bootstrap == nil {
+			return nil, 0, fmt.Errorf("%w: no snapshot in %s and no bootstrap", ErrCorruptStore, s.dir)
+		}
+		if ix, err = bootstrap(); err != nil {
+			return nil, 0, fmt.Errorf("engine: bootstrap: %w", err)
+		}
+	}
+	seq, err = s.replay(ix, seq)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ix, seq, nil
+}
+
+// loadSnapshot returns (nil, 0, nil) when no snapshot file exists.
+func (s *Store) loadSnapshot() (*csc.Index, uint64, error) {
+	f, err := os.Open(filepath.Join(s.dir, snapshotFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var hdr [walHeaderLen + 8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: snapshot header: %v", ErrCorruptStore, err)
+	}
+	if !bytes.Equal(hdr[:8], snapMagic[:]) {
+		return nil, 0, fmt.Errorf("%w: snapshot magic %q", ErrCorruptStore, hdr[:8])
+	}
+	seq := binary.LittleEndian.Uint64(hdr[8:])
+	ix, err := csc.Read(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: snapshot body: %v", ErrCorruptStore, err)
+	}
+	return ix, seq, nil
+}
+
+// replay applies WAL records with sequence numbers beyond snapSeq to ix
+// and repairs the WAL file (header creation, torn-tail truncation).
+func (s *Store) replay(ix *csc.Index, snapSeq uint64) (uint64, error) {
+	data, err := io.ReadAll(s.wal)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < walHeaderLen {
+		// Empty or torn header: records are only ever appended after the
+		// header was synced, so nothing can be lost — start fresh.
+		return snapSeq, s.resetWAL()
+	}
+	if !bytes.Equal(data[:walHeaderLen], walMagic[:]) {
+		return 0, fmt.Errorf("%w: WAL magic %q", ErrCorruptStore, data[:walHeaderLen])
+	}
+	seq := snapSeq
+	off := walHeaderLen
+	for off < len(data) {
+		rec, recLen, ok := decodeRecord(data[off:])
+		if !ok {
+			break // torn or corrupt tail: truncate from here
+		}
+		if rec.seq > seq {
+			if err := applyRecord(ix, rec); err != nil {
+				return 0, fmt.Errorf("%w: replay batch seq %d: %v", ErrCorruptStore, rec.seq, err)
+			}
+			seq = rec.seq
+		}
+		off += recLen
+	}
+	if off < len(data) {
+		if err := s.wal.Truncate(int64(off)); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := s.wal.Seek(int64(off), io.SeekStart); err != nil {
+		return 0, err
+	}
+	s.walBytes = int64(off)
+	return seq, nil
+}
+
+func (s *Store) resetWAL() error {
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := s.wal.Write(walMagic[:]); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.walBytes = walHeaderLen
+	return nil
+}
+
+type walRecord struct {
+	seq uint64
+	ops []Op
+}
+
+// decodeRecord parses one record from the front of data. ok is false when
+// the bytes are truncated or fail the CRC — the reader treats both as the
+// torn tail of a crashed append.
+func decodeRecord(data []byte) (rec walRecord, recLen int, ok bool) {
+	if len(data) < recordFixed {
+		return rec, 0, false
+	}
+	rec.seq = binary.LittleEndian.Uint64(data)
+	count := binary.LittleEndian.Uint32(data[8:])
+	if count > maxBatchOps {
+		return rec, 0, false
+	}
+	payload := 12 + int(count)*opBytes
+	if len(data) < payload+4 {
+		return rec, 0, false
+	}
+	if crc32.Checksum(data[:payload], crcTable) != binary.LittleEndian.Uint32(data[payload:]) {
+		return rec, 0, false
+	}
+	rec.ops = make([]Op, count)
+	for i := range rec.ops {
+		o := data[12+i*opBytes:]
+		rec.ops[i] = Op{
+			Kind: OpKind(o[0]),
+			A:    int32(binary.LittleEndian.Uint32(o[1:])),
+			B:    int32(binary.LittleEndian.Uint32(o[5:])),
+		}
+	}
+	return rec, payload + 4, true
+}
+
+func applyRecord(ix *csc.Index, rec walRecord) error {
+	for i, op := range rec.ops {
+		var err error
+		switch op.Kind {
+		case OpInsert:
+			_, err = ix.InsertEdge(int(op.A), int(op.B))
+		case OpDelete:
+			_, err = ix.DeleteEdge(int(op.A), int(op.B))
+		default:
+			err = fmt.Errorf("unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("op %d (%d,%d): %v", i, op.A, op.B, err)
+		}
+	}
+	return nil
+}
+
+// Append writes one batch record and fsyncs it. The engine calls this
+// before mutating the index (write-ahead).
+func (s *Store) Append(seq uint64, batch []Op) error {
+	b := &s.scratch
+	b.Reset()
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], seq)
+	b.Write(tmp[:8])
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(batch)))
+	b.Write(tmp[:4])
+	for _, op := range batch {
+		b.WriteByte(byte(op.Kind))
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(op.A))
+		b.Write(tmp[:4])
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(op.B))
+		b.Write(tmp[:4])
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(b.Bytes(), crcTable))
+	b.Write(tmp[:4])
+	n, err := s.wal.Write(b.Bytes())
+	s.walBytes += int64(n)
+	if err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// WriteSnapshot persists the full index at the given sequence number
+// (atomically, via a temp file and rename) and then truncates the WAL:
+// recovery from the new snapshot no longer needs the logged batches. A
+// crash between the rename and the truncation is benign — replay skips
+// records at or below the snapshot's sequence number.
+func (s *Store) WriteSnapshot(seq uint64, ix *csc.Index) error {
+	path := filepath.Join(s.dir, snapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var hdr [16]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return s.resetWAL()
+}
+
+// Close closes the WAL file.
+func (s *Store) Close() error { return s.wal.Close() }

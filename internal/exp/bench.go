@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/csc"
+	"repro/internal/engine"
 	"repro/internal/order"
 )
 
@@ -33,6 +34,10 @@ type BenchResult struct {
 	QueryNS      float64 `json:"query_ns"`
 	InsertNS     float64 `json:"insert_ns"`
 	DeleteNS     float64 `json:"delete_ns"`
+
+	// Serve is the engine-throughput experiment: queries/sec sustained by
+	// GOMAXPROCS concurrent readers at each update rate (serve.go).
+	Serve []ServePoint `json:"serve,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -104,6 +109,15 @@ func Bench(s Scale, d Dataset) BenchResult {
 		}
 		res.DeleteNS = float64(delTotal.Nanoseconds()) / float64(len(edges))
 		res.InsertNS = float64(insTotal.Nanoseconds()) / float64(len(edges))
+	}
+
+	// Serving throughput: hand the index to a concurrent engine (it owns
+	// it from here — this is the benchmark's last use) and measure
+	// queries/sec under each update rate.
+	e := engine.New(x, engine.Options{FlushInterval: -1})
+	res.Serve = serveBench(s, x.Graph(), e)
+	if err := e.Close(); err != nil {
+		panic(err)
 	}
 	return res
 }

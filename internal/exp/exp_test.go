@@ -207,3 +207,28 @@ func TestAblationConstruction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The bench suite must emit the serving-throughput points alongside the
+// static figures: GOMAXPROCS readers, every configured update rate, and
+// nonzero query counts (the JSON artifact CI uploads depends on this).
+func TestBenchSuiteEmitsServePoints(t *testing.T) {
+	d, err := DatasetByName("G04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Bench(Tiny, d)
+	if len(res.Serve) != len(serveRates) {
+		t.Fatalf("got %d serve points, want %d", len(res.Serve), len(serveRates))
+	}
+	for i, p := range res.Serve {
+		if p.UpdateRatePerSec != serveRates[i] {
+			t.Fatalf("point %d rate %d, want %d", i, p.UpdateRatePerSec, serveRates[i])
+		}
+		if p.Readers < 1 || p.Queries == 0 || p.QueriesPerSec <= 0 {
+			t.Fatalf("degenerate serve point %+v", p)
+		}
+		if p.UpdateRatePerSec > 0 && p.OpsApplied == 0 {
+			t.Fatalf("update rate %d applied no ops — the load coalesced away", p.UpdateRatePerSec)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// ServePoint is one engine-throughput measurement: sustained queries/sec
+// with GOMAXPROCS reader goroutines while the writer absorbs updates at
+// the given rate. EXPERIMENTS.md documents the methodology.
+type ServePoint struct {
+	Readers          int     `json:"readers"`
+	UpdateRatePerSec int     `json:"update_rate_per_sec"`
+	WindowNS         int64   `json:"window_ns"`
+	Queries          uint64  `json:"queries"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	OpsApplied       uint64  `json:"ops_applied"`
+	Batches          uint64  `json:"batches"`
+}
+
+// serveRates are the update loads each dataset is measured under:
+// read-only, a moderate stream, and a heavy stream.
+var serveRates = []int{0, 2000, 20000}
+
+func serveWindow(s Scale) time.Duration {
+	switch s {
+	case Tiny:
+		return 150 * time.Millisecond
+	case Small:
+		return 300 * time.Millisecond
+	default:
+		return 500 * time.Millisecond
+	}
+}
+
+// ServeBench measures the serving engine's query throughput under
+// concurrent update load. The updater streams delete+reinsert pairs of
+// random existing edges (the same net-zero protocol the update benchmark
+// uses), paced to the target rate; readers query uniform-random vertices
+// as fast as the reader epochs allow. The engine is in-memory (no WAL),
+// so the numbers isolate the concurrency protocol from fsync cost.
+func serveBench(s Scale, g *graph.Digraph, e *engine.Engine) []ServePoint {
+	readers := runtime.GOMAXPROCS(0)
+	window := serveWindow(s)
+	n := g.NumVertices()
+	edges := pickEdges(g, 256, 11)
+	var out []ServePoint
+	for _, rate := range serveRates {
+		before := e.Stats()
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				v := int(seed % uint64(n))
+				for !stop.Load() {
+					e.CycleCount(v)
+					v = (v + 7919) % n // prime stride: spread vertices, no rand in the hot loop
+				}
+			}(uint64(w)*2654435761 + 1)
+		}
+		if rate > 0 && len(edges) > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Pace in 1ms ticks, alternating a tick of deletions with a
+				// tick that reinserts them: the phases land in different
+				// batches, so the load truly applies instead of coalescing
+				// to a no-op, and the graph returns to its starting state.
+				perTick := rate / 1000
+				if perTick < 1 {
+					perTick = 1
+				}
+				if perTick > len(edges) {
+					perTick = len(edges)
+				}
+				i := 0
+				deleted := make([][2]int, 0, perTick)
+				tick := time.NewTicker(time.Millisecond)
+				defer tick.Stop()
+				for !stop.Load() {
+					<-tick.C
+					if len(deleted) == 0 {
+						for k := 0; k < perTick; k++ {
+							ed := edges[i%len(edges)]
+							i++
+							if e.Delete(ed[0], ed[1]) != nil {
+								return
+							}
+							deleted = append(deleted, ed)
+						}
+					} else {
+						for _, ed := range deleted {
+							if e.Insert(ed[0], ed[1]) != nil {
+								return
+							}
+						}
+						deleted = deleted[:0]
+					}
+				}
+				for _, ed := range deleted { // restore the starting graph
+					_ = e.Insert(ed[0], ed[1])
+				}
+			}()
+		}
+		t0 := time.Now()
+		time.Sleep(window)
+		stop.Store(true)
+		// The measured window ends when readers are told to stop — the
+		// updater's drain and the backlog flush below must not dilute the
+		// rate (they can take several windows' worth on dense analogs).
+		elapsed := time.Since(t0)
+		wg.Wait()
+		e.Flush() // leave the graph at its starting state for the next rate
+		// The engine's own counter is the query count: it only counts
+		// queries that actually entered a reader epoch.
+		after := e.Stats()
+		queries := after.Queries - before.Queries
+		out = append(out, ServePoint{
+			Readers:          readers,
+			UpdateRatePerSec: rate,
+			WindowNS:         elapsed.Nanoseconds(),
+			Queries:          queries,
+			QueriesPerSec:    float64(queries) / elapsed.Seconds(),
+			OpsApplied:       after.OpsApplied - before.OpsApplied,
+			Batches:          after.Batches - before.Batches,
+		})
+	}
+	return out
+}

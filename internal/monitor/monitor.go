@@ -1,14 +1,20 @@
 // Package monitor maintains a continuously correct SCCnt scoreboard over
 // a dynamic graph — the fraud-detection loop from the paper's
-// introduction turned into a primitive. It owns a CSC index, routes every
-// edge update through the index's maintenance, and re-scores only the
-// vertices whose labels the update touched (the engine reports them), so
-// the per-update monitoring cost is a handful of microsecond queries
-// rather than a full scan.
+// introduction turned into a primitive. The scoreboard re-scores only the
+// vertices an update touched (the label engine reports them), so the
+// per-update monitoring cost is a handful of microsecond queries rather
+// than a full scan.
+//
+// Two wirings exist. Under the serving engine (internal/engine), the
+// monitor rides the engine's post-batch hook: the engine applies batches
+// and hands the touched vertices to Rescore, and Score/Top stay safe for
+// concurrent readers while batches apply. Standalone, the monitor owns
+// the index: route updates through InsertEdge/DeleteEdge.
 package monitor
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/bfscount"
 	"repro/internal/bipartite"
@@ -42,46 +48,74 @@ func rankBefore(a, b Score) bool {
 	return a.Vertex < b.Vertex
 }
 
-// TopK watches every vertex's SCCnt under updates.
+// TopK watches every vertex's SCCnt under updates. Score and Top may run
+// concurrently with Rescore (the scoreboard is mutex-guarded); index
+// queries themselves are synchronized by whoever applies the updates.
 type TopK struct {
-	x      *csc.Index
-	k      int
+	x *csc.Index
+	k int
+
+	mu     sync.RWMutex
 	scores []Score
 }
 
-// New wraps an index and scores every vertex once. The monitor owns the
-// index from here on: route updates through TopK's methods.
-func New(x *csc.Index, k int) *TopK {
+// New wraps an index and scores every vertex once, using every core for
+// the warm pass. In standalone use the monitor owns the index from here
+// on: route updates through TopK's methods.
+func New(x *csc.Index, k int) *TopK { return NewParallel(x, k, 0) }
+
+// NewParallel is New with explicit warm-pass parallelism (0 = all cores;
+// csc.CycleCountAll clamps workers to the vertex count either way).
+func NewParallel(x *csc.Index, k, workers int) *TopK {
 	n := x.Graph().NumVertices()
 	m := &TopK{x: x, k: k, scores: make([]Score, n)}
-	for v := 0; v < n; v++ {
-		m.rescore(v)
-	}
+	m.RescoreAll(workers)
 	return m
 }
 
 // Index exposes the underlying index for queries.
 func (m *TopK) Index() *csc.Index { return m.x }
 
-func (m *TopK) rescore(v int) {
-	l, c := m.x.CycleCount(v)
+// RescoreAll refreshes every vertex with the given query parallelism —
+// the warm pass. The index must be quiescent for the duration.
+func (m *TopK) RescoreAll(workers int) {
+	lengths, counts := m.x.CycleCountAll(workers)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for v := range m.scores {
+		m.scores[v] = mkScore(v, lengths[v], counts[v])
+	}
+}
+
+// Rescore refreshes exactly the given vertices — the engine's post-batch
+// hook calls this with the touched set after each applied batch.
+func (m *TopK) Rescore(vertices []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, v := range vertices {
+		l, c := m.x.CycleCount(v)
+		m.scores[v] = mkScore(v, l, c)
+	}
+}
+
+func mkScore(v, l int, c uint64) Score {
 	s := Score{Vertex: v}
 	if l != bfscount.NoCycle {
 		s.Exists = true
 		s.Length = l
 		s.Count = c
 	}
-	m.scores[v] = s
+	return s
 }
 
 // InsertEdge applies a maintained insertion and refreshes exactly the
-// vertices whose labels changed.
+// vertices whose labels changed (standalone, index-owning mode).
 func (m *TopK) InsertEdge(a, b int) error {
 	st, err := m.x.InsertEdge(a, b)
 	if err != nil {
 		return err
 	}
-	m.refresh(a, b, st)
+	m.Rescore(touchedVertices(a, b, st))
 	return nil
 }
 
@@ -91,28 +125,44 @@ func (m *TopK) DeleteEdge(a, b int) error {
 	if err != nil {
 		return err
 	}
-	m.refresh(a, b, st)
+	m.Rescore(touchedVertices(a, b, st))
 	return nil
 }
 
-func (m *TopK) refresh(a, b int, st pll.UpdateStats) {
+// touchedVertices maps an update's touched label owners (Gb vertices)
+// back to the original-graph vertices whose scores may have changed.
+func touchedVertices(a, b int, st pll.UpdateStats) []int {
 	seen := map[int]struct{}{a: {}, b: {}}
 	for _, owner := range st.TouchedOwners {
 		seen[bipartite.Original(int(owner))] = struct{}{}
 	}
+	out := make([]int, 0, len(seen))
 	for v := range seen {
-		m.rescore(v)
+		out = append(out, v)
 	}
+	sort.Ints(out)
+	return out
 }
 
-// Score returns the current standing of one vertex.
-func (m *TopK) Score(v int) Score { return m.scores[v] }
+// Score returns the current standing of one vertex. Out-of-range
+// vertices report a non-existent score rather than panicking — the
+// serving surface passes client-supplied ids through here.
+func (m *TopK) Score(v int) Score {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if v < 0 || v >= len(m.scores) {
+		return Score{Vertex: v}
+	}
+	return m.scores[v]
+}
 
 // Top returns the current top-k scores among cycle-carrying vertices,
 // highest count first. The selection scans the in-memory scoreboard
 // (nanoseconds per vertex); the expensive part — the SCCnt queries — was
 // already paid incrementally.
 func (m *TopK) Top() []Score {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	top := make([]Score, 0, m.k+1)
 	for _, s := range m.scores {
 		if !s.Exists {

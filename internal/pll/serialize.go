@@ -107,6 +107,15 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if n > bitpack.MaxHub+1 {
 		return nil, fmt.Errorf("%w: vertex count %d exceeds encoding limit", ErrBadFormat, n)
 	}
+	if Strategy(strat) != Redundancy && Strategy(strat) != Minimality {
+		return nil, fmt.Errorf("%w: unknown strategy %d", ErrBadFormat, strat)
+	}
+	// A digraph on n vertices holds at most n(n-1) edges; a larger claimed
+	// count is corrupt, and rejecting it here keeps a hostile header from
+	// driving a multi-gigabyte read loop.
+	if int64(m32) > int64(n)*int64(n-1) {
+		return nil, fmt.Errorf("%w: edge count %d impossible for %d vertices", ErrBadFormat, m, n)
+	}
 	g := graph.New(n)
 	for i := 0; i < m; i++ {
 		var u, v uint32
@@ -142,6 +151,11 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			var ln uint32
 			if err := read(&ln); err != nil {
 				return nil, fmt.Errorf("%w: truncated labels: %v", ErrBadFormat, err)
+			}
+			// Hubs are strictly increasing ranks below n, so no list can
+			// legitimately exceed n entries.
+			if int64(ln) > int64(n) {
+				return nil, fmt.Errorf("%w: label list of %d entries for %d vertices", ErrBadFormat, ln, n)
 			}
 			prevHub := -1
 			for i := 0; i < int(ln); i++ {

@@ -1,0 +1,176 @@
+// Package serve is the HTTP+JSON surface of the serving engine: the
+// cscd daemon and the cyclehub.Engine.Handler facade both mount it. All
+// handlers are safe under arbitrary concurrency — queries enter reader
+// epochs, mutations go through the engine's mailbox.
+//
+// Routes:
+//
+//	GET    /cycle/{v}     SCCnt query for one vertex
+//	GET    /top           current top-k ranking (requires a watch)
+//	POST   /edges         enqueue a batch of insertions
+//	DELETE /edges         enqueue a batch of deletions
+//	GET    /stats         engine counters + uptime
+//	GET    /healthz       liveness (503 once durability failed)
+//
+// Edge batches are {"edges": [[a,b], ...]}; add ?flush=1 to wait until
+// the batch is applied (read-your-writes). Responses carry per-edge
+// rejections for out-of-range or self-loop pairs; redundant ops are
+// accepted and coalesced away by the engine.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/bfscount"
+	"repro/internal/engine"
+	"repro/internal/monitor"
+)
+
+// CycleJSON is the /cycle/{v} response body.
+type CycleJSON struct {
+	Vertex int    `json:"vertex"`
+	Exists bool   `json:"exists"`
+	Length int    `json:"length,omitempty"`
+	Count  uint64 `json:"count,omitempty"`
+}
+
+// TopJSON is the /top response body.
+type TopJSON struct {
+	K   int         `json:"k"`
+	Top []CycleJSON `json:"top"`
+}
+
+// EdgesRequest is the /edges request body.
+type EdgesRequest struct {
+	Edges [][2]int `json:"edges"`
+}
+
+// EdgeError is one rejected edge in an EdgesResponse.
+type EdgeError struct {
+	Edge  [2]int `json:"edge"`
+	Error string `json:"error"`
+}
+
+// EdgesResponse is the /edges response body.
+type EdgesResponse struct {
+	Enqueued int         `json:"enqueued"`
+	Rejected []EdgeError `json:"rejected,omitempty"`
+	Flushed  bool        `json:"flushed,omitempty"`
+}
+
+// StatsJSON is the /stats response body.
+type StatsJSON struct {
+	engine.Stats
+	TopK          int     `json:"top_k,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Handler mounts the serving API over an engine. watch may be nil, in
+// which case /top answers 404. k is only echoed in /stats.
+func Handler(e *engine.Engine, watch *monitor.TopK, k int) http.Handler {
+	s := &server{e: e, watch: watch, k: k, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cycle/{v}", s.cycle)
+	mux.HandleFunc("GET /top", s.top)
+	mux.HandleFunc("POST /edges", s.edges(engine.OpInsert))
+	mux.HandleFunc("DELETE /edges", s.edges(engine.OpDelete))
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	return mux
+}
+
+type server struct {
+	e     *engine.Engine
+	watch *monitor.TopK
+	k     int
+	start time.Time
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "vertex %q is not an integer", r.PathValue("v"))
+		return
+	}
+	if v < 0 || v >= s.e.NumVertices() {
+		writeErr(w, http.StatusNotFound, "vertex %d out of range [0,%d)", v, s.e.NumVertices())
+		return
+	}
+	l, c := s.e.CycleCount(v)
+	out := CycleJSON{Vertex: v}
+	if l != bfscount.NoCycle {
+		out.Exists = true
+		out.Length = l
+		out.Count = c
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) top(w http.ResponseWriter, r *http.Request) {
+	if s.watch == nil {
+		writeErr(w, http.StatusNotFound, "top-k watch not enabled (start with -k)")
+		return
+	}
+	scores := s.watch.Top()
+	out := TopJSON{K: s.k, Top: make([]CycleJSON, 0, len(scores))}
+	for _, sc := range scores {
+		out.Top = append(out.Top, CycleJSON{
+			Vertex: sc.Vertex, Exists: true, Length: sc.Length, Count: sc.Count,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) edges(kind engine.OpKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req EdgesRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		var resp EdgesResponse
+		for _, e := range req.Edges {
+			err := s.e.EnqueueEdge(kind, e[0], e[1])
+			if err != nil {
+				resp.Rejected = append(resp.Rejected, EdgeError{Edge: e, Error: err.Error()})
+				continue
+			}
+			resp.Enqueued++
+		}
+		if flush, _ := strconv.ParseBool(r.URL.Query().Get("flush")); flush {
+			s.e.Flush()
+			resp.Flushed = true
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsJSON{
+		Stats:         s.e.Stats(),
+		TopK:          s.k,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.e.Err(); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "durability lost: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,231 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/csc"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/serve"
+)
+
+func newServer(t *testing.T, n int, k int, dir string) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	bootstrap := func() (*csc.Index, error) {
+		g := graph.New(n)
+		x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
+		return x, nil
+	}
+	var e *engine.Engine
+	var err error
+	opts := engine.Options{FlushInterval: -1}
+	if dir != "" {
+		e, err = engine.Open(dir, bootstrap, opts)
+	} else {
+		var x *csc.Index
+		x, err = bootstrap()
+		if err == nil {
+			e = engine.New(x, opts)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.WatchTopK(k)
+	srv := httptest.NewServer(serve.Handler(e, w, k))
+	t.Cleanup(srv.Close)
+	return e, srv
+}
+
+func do(t *testing.T, method, url string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	_, srv := newServer(t, 10, 3, "")
+
+	// Healthy from the start.
+	if code, _ := do(t, "GET", srv.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz %d", code)
+	}
+
+	// Stream a triangle plus a chord, flushed for read-your-writes.
+	code, body := do(t, "POST", srv.URL+"/edges?flush=1", serve.EdgesRequest{
+		Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 1}},
+	})
+	if code != 200 {
+		t.Fatalf("post edges: %d %v", code, body)
+	}
+	var enq int
+	_ = json.Unmarshal(body["enqueued"], &enq)
+	if enq != 4 {
+		t.Fatalf("enqueued %d, want 4", enq)
+	}
+
+	// Query the cycle.
+	code, body = do(t, "GET", srv.URL+"/cycle/0", nil)
+	if code != 200 {
+		t.Fatalf("cycle: %d", code)
+	}
+	var exists bool
+	var length int
+	_ = json.Unmarshal(body["exists"], &exists)
+	_ = json.Unmarshal(body["length"], &length)
+	if !exists || length != 3 {
+		t.Fatalf("cycle/0 = %v", body)
+	}
+
+	// Top-k sees the 2-cycle vertices first (1 and 2 sit on cycles of
+	// length 2 via the chord).
+	code, body = do(t, "GET", srv.URL+"/top", nil)
+	if code != 200 {
+		t.Fatalf("top: %d", code)
+	}
+	var top []serve.CycleJSON
+	_ = json.Unmarshal(body["top"], &top)
+	if len(top) != 3 {
+		t.Fatalf("top has %d rows, want 3: %v", len(top), top)
+	}
+	if top[0].Length != 2 {
+		t.Fatalf("top[0] should be a 2-cycle vertex: %+v", top[0])
+	}
+
+	// Deletion via DELETE /edges.
+	code, _ = do(t, "DELETE", srv.URL+"/edges?flush=1", serve.EdgesRequest{Edges: [][2]int{{2, 1}}})
+	if code != 200 {
+		t.Fatalf("delete edges: %d", code)
+	}
+	_, body = do(t, "GET", srv.URL+"/cycle/1", nil)
+	_ = json.Unmarshal(body["length"], &length)
+	if length != 3 {
+		t.Fatalf("after chord deletion vertex 1 should be on the triangle, got %v", body)
+	}
+
+	// Bad inputs.
+	if code, _ := do(t, "GET", srv.URL+"/cycle/999", nil); code != 404 {
+		t.Fatalf("out-of-range vertex: %d", code)
+	}
+	if code, _ := do(t, "GET", srv.URL+"/cycle/notanumber", nil); code != 400 {
+		t.Fatalf("non-integer vertex: %d", code)
+	}
+	code, body = do(t, "POST", srv.URL+"/edges", serve.EdgesRequest{Edges: [][2]int{{5, 5}, {0, 99}}})
+	if code != 200 {
+		t.Fatalf("rejected edges post: %d", code)
+	}
+	var rejected []serve.EdgeError
+	_ = json.Unmarshal(body["rejected"], &rejected)
+	if len(rejected) != 2 {
+		t.Fatalf("rejected %v, want self-loop and range errors", rejected)
+	}
+
+	// Stats counts what happened.
+	_, body = do(t, "GET", srv.URL+"/stats", nil)
+	var applied uint64
+	_ = json.Unmarshal(body["ops_applied"], &applied)
+	if applied != 5 {
+		t.Fatalf("stats ops_applied = %s, want 5", body["ops_applied"])
+	}
+}
+
+// A daemon killed without shutdown must come back serving the exact same
+// answers from snapshot+WAL.
+func TestServeRecoveryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1, srv1 := newServer(t, 12, 3, dir)
+
+	r := rand.New(rand.NewSource(3))
+	var edges [][2]int
+	for len(edges) < 20 {
+		u, v := r.Intn(12), r.Intn(12)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	if code, _ := do(t, "POST", srv1.URL+"/edges?flush=1", serve.EdgesRequest{Edges: edges}); code != 200 {
+		t.Fatal("post failed")
+	}
+	want := make([]string, 12)
+	for v := 0; v < 12; v++ {
+		_, body := do(t, "GET", srv1.URL+fmt.Sprintf("/cycle/%d", v), nil)
+		want[v] = fmt.Sprint(body)
+	}
+	srv1.Close()
+	// "Kill" the daemon: Close persists nothing new (no final snapshot;
+	// the WAL fsyncs before each apply) — it only releases the store
+	// lock, as process death would.
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, srv2 := newServer(t, 12, 3, dir)
+	for v := 0; v < 12; v++ {
+		_, body := do(t, "GET", srv2.URL+fmt.Sprintf("/cycle/%d", v), nil)
+		if got := fmt.Sprint(body); got != want[v] {
+			t.Fatalf("vertex %d after restart: %s, want %s", v, got, want[v])
+		}
+	}
+}
+
+// The HTTP surface under concurrent clients (meaningful with -race).
+func TestServeConcurrentClients(t *testing.T) {
+	_, srv := newServer(t, 30, 3, "")
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 30; i++ {
+				switch r.Intn(3) {
+				case 0:
+					u, v := r.Intn(30), r.Intn(30)
+					if u == v {
+						continue
+					}
+					kind := "POST"
+					if r.Intn(2) == 0 {
+						kind = "DELETE"
+					}
+					do(t, kind, srv.URL+"/edges", serve.EdgesRequest{Edges: [][2]int{{u, v}}})
+				case 1:
+					do(t, "GET", srv.URL+fmt.Sprintf("/cycle/%d", r.Intn(30)), nil)
+				default:
+					do(t, "GET", srv.URL+"/top", nil)
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+}
