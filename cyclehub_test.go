@@ -303,3 +303,105 @@ func TestEngineFacadeWALRecovery(t *testing.T) {
 		t.Fatal("nil handler")
 	}
 }
+
+// The default index is SCC-sharded; WithMonolithic builds the single
+// whole-graph labeling. Both must answer identically and both serialized
+// forms must load through ReadIndex.
+func TestMonolithicOptionAgrees(t *testing.T) {
+	n := 60
+	mk := func() *Graph {
+		g := NewGraph(n)
+		rr := rand.New(rand.NewSource(77))
+		for i := 0; i < 2*n; i++ {
+			u, v := rr.Intn(n), rr.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		return g
+	}
+	sharded := BuildIndex(mk())
+	mono := BuildIndex(mk(), WithMonolithic())
+	if sharded.Stats().Bytes > mono.Stats().Bytes {
+		t.Fatalf("sharded index larger than monolithic: %d > %d",
+			sharded.Stats().Bytes, mono.Stats().Bytes)
+	}
+	for v := 0; v < n; v++ {
+		if sharded.CycleCount(v) != mono.CycleCount(v) {
+			t.Fatalf("vertex %d: sharded %+v != monolithic %+v",
+				v, sharded.CycleCount(v), mono.CycleCount(v))
+		}
+	}
+	for _, ix := range []*Index{sharded, mono} {
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if got.CycleCount(v) != ix.CycleCount(v) {
+				t.Fatalf("vertex %d differs after roundtrip", v)
+			}
+		}
+	}
+}
+
+// An engine over the sharded default must absorb updates that merge and
+// split components while serving, and recover them from the WAL.
+func TestEngineShardedMergeSplitRecovery(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() (*Index, error) {
+		g, _ := GraphFromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+		return BuildIndex(g), nil
+	}
+	e, err := OpenEngine(dir, boot, WithBatch(4, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2→0 closes {0,1,2}; 5→3 closes {3,4,5}; 2→3 plus 5→0 merges both.
+	for _, p := range [][2]int{{2, 0}, {5, 3}, {2, 3}, {5, 0}} {
+		if err := e.InsertEdge(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	if r := e.CycleCount(0); !r.Exists || r.Length != 3 {
+		t.Fatalf("CycleCount(0) = %+v", r)
+	}
+	if r := e.CycleCount(3); !r.Exists || r.Length != 3 {
+		t.Fatalf("CycleCount(3) = %+v", r)
+	}
+	var before bytes.Buffer
+	if _, err := e.WriteTo(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := OpenEngine(dir, boot, WithBatch(4, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	var after bytes.Buffer
+	if _, err := e2.WriteTo(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("recovered sharded engine state differs from pre-kill state")
+	}
+	// Splitting delete after recovery: break the merged component apart.
+	if err := e2.DeleteEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	e2.Flush()
+	if r := e2.CycleCount(0); !r.Exists || r.Length != 3 {
+		t.Fatalf("after split: CycleCount(0) = %+v", r)
+	}
+	if r := e2.CycleCount(3); !r.Exists || r.Length != 3 {
+		t.Fatalf("after split: CycleCount(3) = %+v", r)
+	}
+}

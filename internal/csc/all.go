@@ -15,7 +15,12 @@ import (
 // pass before any batch applies, and the top-k monitor for its initial
 // scoreboard.
 func (x *Index) CycleCountAll(workers int) (lengths []int, counts []uint64) {
-	n := x.g.NumVertices()
+	return cycleCountAll(x.g.NumVertices(), workers, x.CycleCount)
+}
+
+// cycleCountAll is the shared per-vertex fan-out behind both Counter
+// implementations' CycleCountAll.
+func cycleCountAll(n, workers int, count func(v int) (int, uint64)) (lengths []int, counts []uint64) {
 	lengths = make([]int, n)
 	counts = make([]uint64, n)
 	if workers <= 0 {
@@ -26,7 +31,7 @@ func (x *Index) CycleCountAll(workers int) (lengths []int, counts []uint64) {
 	}
 	if workers <= 1 {
 		for v := 0; v < n; v++ {
-			lengths[v], counts[v] = x.CycleCount(v)
+			lengths[v], counts[v] = count(v)
 		}
 		return lengths, counts
 	}
@@ -41,7 +46,7 @@ func (x *Index) CycleCountAll(workers int) (lengths []int, counts []uint64) {
 				if v >= n {
 					return
 				}
-				lengths[v], counts[v] = x.CycleCount(v)
+				lengths[v], counts[v] = count(v)
 			}
 		}()
 	}

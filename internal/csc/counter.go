@@ -1,0 +1,55 @@
+package csc
+
+import (
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/pll"
+)
+
+// Counter is the query-and-maintenance surface shared by the monolithic
+// Index and the SCC-sharded Sharded index. The serving engine, the top-k
+// monitor and the cyclehub facade program against it, so either form
+// serves transparently — including through WAL/snapshot recovery, whose
+// snapshots dispatch on the serialization magic (Read).
+//
+// Implementations are not safe for concurrent mutation; queries may run
+// concurrently with each other but not with updates (the serving engine
+// provides that synchronization).
+type Counter interface {
+	// CycleCount answers SCCnt(v): shortest cycle length through v
+	// (bfscount.NoCycle when none) and the number of such cycles.
+	CycleCount(v int) (length int, count uint64)
+	// CycleCountAll evaluates SCCnt for every vertex with the given
+	// parallelism (0 = all cores, clamped to the vertex count).
+	CycleCountAll(workers int) (lengths []int, counts []uint64)
+
+	// InsertEdge and DeleteEdge apply a maintained edge update. The
+	// returned stats' TouchedOwners are Gb vertices of the *original*
+	// graph's conversion (bipartite.Original maps them back), whichever
+	// implementation produced them.
+	InsertEdge(a, b int) (pll.UpdateStats, error)
+	DeleteEdge(a, b int) (pll.UpdateStats, error)
+
+	// AddVertex appends one isolated vertex; DetachVertex removes every
+	// incident edge of v through maintained deletions.
+	AddVertex() (int, error)
+	DetachVertex(v int) (int, error)
+
+	// Graph returns the indexed original graph. Callers must not mutate
+	// it directly.
+	Graph() *graph.Digraph
+
+	// EntryCount, Bytes and ReducedBytes describe the label footprint.
+	EntryCount() int
+	Bytes() int
+	ReducedBytes() int
+
+	// WriteTo serializes the index in a format Read can load.
+	WriteTo(w io.Writer) (int64, error)
+}
+
+var (
+	_ Counter = (*Index)(nil)
+	_ Counter = (*Sharded)(nil)
+)

@@ -12,6 +12,11 @@
 // merge-joins, hubs are processed in rank-batched parallel speculation
 // with a deterministic rank-order merge (labels stay byte-identical to a
 // sequential build), and the finished labels freeze into the CSR arena.
+//
+// Two index forms share the Counter surface: the monolithic Index below
+// (one labeling over the whole graph) and the SCC-sharded Sharded index
+// (sharded.go), which partitions by condensation, keeps the acyclic share
+// label-free, and scopes dynamic rebuilds to merged/split components.
 package csc
 
 import (

@@ -1,0 +1,166 @@
+package csc
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the serialization golden files")
+
+// goldenGraph is the fixed graph behind both golden files: two components
+// plus trivial vertices, so the v2 file exercises a multi-shard table.
+func goldenGraph() *graph.Digraph {
+	g, err := graph.FromEdges(9, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, // triangle
+		{4, 5}, {5, 4}, // 2-cycle
+		{2, 4}, {5, 6}, {7, 0}, // cross edges and tails
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func goldenBytes(t *testing.T, sharded bool) []byte {
+	t.Helper()
+	g := goldenGraph()
+	var buf bytes.Buffer
+	if sharded {
+		x, _ := BuildSharded(g, Options{Workers: 1})
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		x, _ := Build(g, order.ByDegree(g), Options{Workers: 1})
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenFiles pins both on-disk formats: the checked-in v1 and v2
+// files must load, answer exactly the oracle counts, and re-serialize to
+// the stored bytes. A failure means the format changed — bump the magic
+// and keep the old reader instead of breaking deployed index files.
+func TestGoldenFiles(t *testing.T) {
+	for _, tc := range []struct {
+		file    string
+		sharded bool
+	}{
+		{"golden_v1.csc", false},
+		{"golden_v2.csc", true},
+	} {
+		path := filepath.Join("testdata", tc.file)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, goldenBytes(t, tc.sharded), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", tc.file, err)
+		}
+		if want := goldenBytes(t, tc.sharded); !bytes.Equal(data, want) {
+			t.Fatalf("%s: stored bytes differ from a fresh sequential build's serialization", tc.file)
+		}
+		loaded, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		wantCounts := map[int][2]int{ // vertex → (length, count); others no-cycle
+			0: {3, 1}, 1: {3, 1}, 2: {3, 1}, 4: {2, 1}, 5: {2, 1},
+		}
+		for v := 0; v < loaded.Graph().NumVertices(); v++ {
+			l, c := loaded.CycleCount(v)
+			if want, ok := wantCounts[v]; ok {
+				if l != want[0] || uint64(want[1]) != c {
+					t.Fatalf("%s: vertex %d = (%d,%d), want %v", tc.file, v, l, c, want)
+				}
+			} else if c != 0 {
+				t.Fatalf("%s: vertex %d = (%d,%d), want no cycle", tc.file, v, l, c)
+			}
+		}
+	}
+}
+
+// FuzzRead throws arbitrary bytes at the format dispatcher: no input may
+// panic or hang, and anything that parses must re-serialize stably and
+// answer queries in range. Seeds cover both formats plus targeted
+// corruptions of the v2 shard table.
+func FuzzRead(f *testing.F) {
+	g := goldenGraph()
+	var v1, v2 bytes.Buffer
+	mono, _ := Build(g.Clone(), order.ByDegree(g), Options{Workers: 1})
+	if _, err := mono.WriteTo(&v1); err != nil {
+		f.Fatal(err)
+	}
+	sh, _ := BuildSharded(g.Clone(), Options{Workers: 1})
+	if _, err := sh.WriteTo(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	// Truncations: every prefix of a valid file is invalid, and the loader
+	// must say so rather than crash.
+	for _, cut := range []int{1, 8, 9, 13, 21, v2.Len() / 2, v2.Len() - 1} {
+		if cut < v2.Len() {
+			f.Add(v2.Bytes()[:cut])
+		}
+	}
+	// Shard-table corruptions: flip bytes around the table region.
+	for _, off := range []int{17, 25, 40, 60} {
+		if off < v2.Len() {
+			mut := append([]byte(nil), v2.Bytes()...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := x.Graph().NumVertices()
+		for v := -1; v <= n && v < 64; v++ {
+			if v >= 0 && v < n {
+				x.CycleCount(v)
+			}
+		}
+		var out bytes.Buffer
+		if _, err := x.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		y, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		for v := 0; v < n && v < 64; v++ {
+			xl, xc := x.CycleCount(v)
+			yl, yc := y.CycleCount(v)
+			if xl != yl || xc != yc {
+				t.Fatalf("vertex %d unstable across roundtrip: (%d,%d) vs (%d,%d)", v, xl, xc, yl, yc)
+			}
+		}
+	})
+}
+
+// Every strict prefix of a valid v2 file must fail to parse — the loader
+// may never silently accept a truncated shard section.
+func TestShardedReadAllPrefixesFail(t *testing.T) {
+	full := goldenBytes(t, true)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes parsed successfully", cut, len(full))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package csc
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 
@@ -9,21 +10,55 @@ import (
 	"repro/internal/pll"
 )
 
+// Two on-disk forms exist. A monolithic Index serializes as the v1 format
+// ("CSCIDX01"): its Gb labeling, self-contained, with the original graph
+// reconstructed from the conversion structure on load. A Sharded index
+// serializes as the v2 format ("CSCIDX02", sharded_serialize.go): the
+// global graph plus the shard table and one embedded v1 labeling blob per
+// shard. Read dispatches on the magic, so consumers — cyclehub.ReadIndex,
+// the engine's WAL/snapshot recovery, the csc CLI — load either form
+// transparently, and v1 files written before sharding existed keep
+// loading.
+
 // WriteTo serializes the index (the Gb labeling is self-contained; the
 // original graph is reconstructed on load from the conversion structure).
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	return x.eng.WriteTo(w)
 }
 
-// Read deserializes an index written by WriteTo and reconstructs the
-// original graph from the bipartite conversion.
-func Read(r io.Reader) (*Index, error) {
-	eng, err := pll.ReadIndex(r)
+// Read deserializes an index written by Index.WriteTo (v1) or
+// Sharded.WriteTo (v2), dispatching on the leading magic bytes.
+func Read(r io.Reader) (Counter, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pll.ErrBadFormat, err)
+	}
+	if string(magic) == shardedMagic {
+		return readSharded(br)
+	}
+	return readMonolithic(br)
+}
+
+// readMonolithic loads a v1 stream and reconstructs the original graph
+// from the bipartite conversion.
+func readMonolithic(br *bufio.Reader) (*Index, error) {
+	eng, err := pll.ReadIndexFrom(br)
 	if err != nil {
 		return nil, err
 	}
 	eng.HubFilter = bipartite.IsIn // functions do not serialize; re-install
-	gb := eng.G
+	g, err := originalFromGb(eng.G)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{g: g, eng: eng}, nil
+}
+
+// originalFromGb inverts the bipartite conversion: couple edges are
+// checked and dropped, every (v_out → w_in) edge becomes (v, w). It
+// rejects graphs that are not a valid conversion image.
+func originalFromGb(gb *graph.Digraph) (*graph.Digraph, error) {
 	if gb.NumVertices()%2 != 0 {
 		return nil, fmt.Errorf("%w: odd vertex count, not a bipartite conversion", pll.ErrBadFormat)
 	}
@@ -42,5 +77,5 @@ func Read(r io.Reader) (*Index, error) {
 			}
 		}
 	}
-	return &Index{g: g, eng: eng}, nil
+	return g, nil
 }

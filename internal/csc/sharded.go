@@ -1,0 +1,432 @@
+package csc
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfscount"
+	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/partition"
+	"repro/internal/pll"
+)
+
+// Sharded is the SCC-partitioned form of the CSC index. Every directed
+// cycle lies inside one strongly connected component, so the condensation
+// is a free decomposition: trivial (single-vertex) components answer
+// CycleCount = 0 with no labels at all, each non-trivial component gets
+// an independent monolithic Index over its induced subgraph, and queries
+// route through a vertex→shard table. Cross-component edges are kept in
+// the graph but carry no labels.
+//
+// Dynamic updates keep the partition correct. An intra-shard edge goes
+// through the shard's own INCCNT/decremental maintenance. An insertion
+// that merges components (the new edge closes a path back to its tail)
+// triggers a scoped rebuild of exactly the merged component; a deletion
+// that splits a component rebuilds only that component's surviving
+// sub-components. Everything else — cross-component inserts that close no
+// cycle, deletes of label-free edges — is O(reachability check) or free.
+type Sharded struct {
+	g    *graph.Digraph
+	opts Options
+
+	// shards holds the live sub-indexes; slots become nil when a merge or
+	// split retires a shard and are reused for new ones.
+	shards []*shard
+	free   []int32 // retired slot ids available for reuse
+
+	shardOf []int32 // vertex → shard slot, -1 for trivial components
+	localID []int32 // vertex → id inside its shard's subgraph
+
+	merges, splits int // scoped-rebuild counters (diagnostics)
+}
+
+// shard is one non-trivial SCC: its member vertices (sorted ascending —
+// position is the local id) and the monolithic index over the induced
+// subgraph.
+type shard struct {
+	verts []int32
+	idx   *Index
+}
+
+// BuildSharded partitions g by condensation and builds one monolithic CSC
+// index per non-trivial component, in parallel across components (the
+// rank-batched parallel construction is used inside a component when it
+// is the only one). The index takes ownership of g.
+func BuildSharded(g *graph.Digraph, opts Options) (*Sharded, pll.BuildStats) {
+	start := time.Now()
+	n := g.NumVertices()
+	x := &Sharded{
+		g:       g,
+		opts:    opts,
+		shardOf: make([]int32, n),
+		localID: make([]int32, n),
+	}
+	for v := range x.shardOf {
+		x.shardOf[v] = -1
+		x.localID[v] = -1
+	}
+	comps := partition.SCC(g).NonTrivial()
+	x.shards = make([]*shard, len(comps))
+	for sid, verts := range comps {
+		for li, v := range verts {
+			x.shardOf[v] = int32(sid)
+			x.localID[v] = int32(li)
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// One big component keeps the intra-build parallelism; many components
+	// parallelize across shards with sequential inner builds instead.
+	inner := opts
+	outer := 1
+	if len(comps) > 1 {
+		inner.Workers = 1
+		outer = workers
+		if outer > len(comps) {
+			outer = len(comps)
+		}
+	}
+	// Schedule largest components first so the tail of the pool is short.
+	sched := make([]int, len(comps))
+	for i := range sched {
+		sched[i] = i
+	}
+	sort.Slice(sched, func(a, b int) bool { return len(comps[sched[a]]) > len(comps[sched[b]]) })
+
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < outer; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sched) {
+					return
+				}
+				sid := sched[i]
+				x.shards[sid] = buildShard(g, comps[sid], inner)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := x.stats()
+	st.Duration = time.Since(start)
+	return x, st
+}
+
+// buildShard constructs one component's sub-index over its induced
+// subgraph with the component's own degree ordering.
+func buildShard(g *graph.Digraph, verts []int32, opts Options) *shard {
+	sub := partition.Induced(g, verts)
+	idx, _ := Build(sub, order.ByDegree(sub), opts)
+	return &shard{verts: verts, idx: idx}
+}
+
+func (x *Sharded) stats() pll.BuildStats {
+	var st pll.BuildStats
+	for _, sh := range x.shards {
+		if sh == nil {
+			continue
+		}
+		s := sh.idx.eng.Stats()
+		st.Entries += s.Entries
+		st.Canonical += s.Canonical
+		st.NonCanonical += s.NonCanonical
+	}
+	st.Bytes = 8 * st.Entries
+	return st
+}
+
+// CycleCount answers SCCnt(v). Vertices in trivial components — and
+// out-of-range ids — report no cycle without touching any labels.
+func (x *Sharded) CycleCount(v int) (length int, count uint64) {
+	if v < 0 || v >= len(x.shardOf) {
+		return bfscount.NoCycle, 0
+	}
+	s := x.shardOf[v]
+	if s < 0 {
+		return bfscount.NoCycle, 0
+	}
+	return x.shards[s].idx.CycleCount(int(x.localID[v]))
+}
+
+// CycleCountAll evaluates SCCnt for every vertex (same contract as
+// Index.CycleCountAll: workers 0 = all cores, clamped to the vertex
+// count; read-only, so safe without concurrent updates).
+func (x *Sharded) CycleCountAll(workers int) (lengths []int, counts []uint64) {
+	return cycleCountAll(len(x.shardOf), workers, x.CycleCount)
+}
+
+// InsertEdge applies an edge insertion. Intra-shard edges run the shard's
+// INCCNT maintenance; a cross-component edge that closes a path back to
+// its tail merges components and rebuilds exactly the merged one; any
+// other cross-component edge is recorded label-free.
+func (x *Sharded) InsertEdge(a, b int) (pll.UpdateStats, error) {
+	if err := x.g.AddEdge(a, b); err != nil {
+		return pll.UpdateStats{}, err
+	}
+	start := time.Now()
+	if s := x.shardOf[a]; s >= 0 && s == x.shardOf[b] {
+		sh := x.shards[s]
+		st, err := sh.idx.InsertEdge(int(x.localID[a]), int(x.localID[b]))
+		x.translateOwners(sh, &st)
+		return st, err
+	}
+	// The new edge a→b lies on a cycle — and therefore merges components —
+	// exactly when b already reaches a.
+	if !partition.Reachable(x.g, b, a) {
+		return pll.UpdateStats{Duration: time.Since(start)}, nil
+	}
+	return x.mergeRebuild(a, start), nil
+}
+
+// DeleteEdge applies an edge deletion. Cross-component and trivial edges
+// are label-free; an intra-shard deletion either repairs the shard's
+// labels decrementally (component intact) or rebuilds the component's
+// surviving sub-components (component split).
+func (x *Sharded) DeleteEdge(a, b int) (pll.UpdateStats, error) {
+	if err := x.g.RemoveEdge(a, b); err != nil {
+		return pll.UpdateStats{}, err
+	}
+	start := time.Now()
+	s := x.shardOf[a]
+	if s < 0 || s != x.shardOf[b] {
+		return pll.UpdateStats{Duration: time.Since(start)}, nil
+	}
+	sh := x.shards[s]
+	la, lb := int(x.localID[a]), int(x.localID[b])
+	// The component survives iff a still reaches b without the removed
+	// edge: every path that used a→b reroutes through the a⇝b detour, so
+	// all mutual reachability is preserved. (The shard subgraph still
+	// holds the edge — the shard's own DeleteEdge removes it below.)
+	if partition.ReachableSkip(sh.idx.Graph(), la, lb, la, lb) {
+		st, err := sh.idx.DeleteEdge(la, lb)
+		x.translateOwners(sh, &st)
+		return st, err
+	}
+	return x.splitRebuild(s, start), nil
+}
+
+// mergeRebuild replaces every component absorbed by a's new strongly
+// connected component with one freshly built shard. Old shards are
+// strictly nested inside the merged component (SCCs only grow under
+// insertions), so the affected set is exactly the shards intersecting it.
+func (x *Sharded) mergeRebuild(a int, start time.Time) pll.UpdateStats {
+	merged := partition.ComponentOf(x.g, a)
+	var st pll.UpdateStats
+	retired := make(map[int32]struct{})
+	for _, v := range merged {
+		if s := x.shardOf[v]; s >= 0 {
+			retired[s] = struct{}{}
+		}
+	}
+	for s := range retired {
+		st.EntriesRemoved += x.shards[s].idx.EntryCount()
+		x.retire(s)
+	}
+	sh := buildShard(x.g, merged, x.opts)
+	x.install(sh)
+	x.merges++
+	st.EntriesAdded = sh.idx.EntryCount()
+	st.Visited = len(merged)
+	st.TouchedOwners = touchAll(merged)
+	st.Duration = time.Since(start)
+	return st
+}
+
+// splitRebuild re-partitions one shard after a deletion disconnected it:
+// every surviving non-trivial sub-component gets a fresh sub-index, and
+// vertices falling out into trivial components drop their labels
+// entirely.
+func (x *Sharded) splitRebuild(s int32, start time.Time) pll.UpdateStats {
+	old := x.shards[s]
+	var st pll.UpdateStats
+	st.EntriesRemoved = old.idx.EntryCount()
+	x.retire(s)
+	// The global graph already dropped the edge, so the induced subgraph
+	// over the old member set is the post-delete component.
+	sub := partition.Induced(x.g, old.verts)
+	for _, comp := range partition.SCC(sub).NonTrivial() {
+		verts := make([]int32, len(comp))
+		for i, lv := range comp {
+			verts[i] = old.verts[lv]
+		}
+		sh := buildShard(x.g, verts, x.opts)
+		x.install(sh)
+		st.EntriesAdded += sh.idx.EntryCount()
+	}
+	x.splits++
+	st.Visited = len(old.verts)
+	st.TouchedOwners = touchAll(old.verts)
+	st.Duration = time.Since(start)
+	return st
+}
+
+// retire clears a shard slot and unmaps its vertices (they are either
+// re-installed into a new shard or left trivial by the caller).
+func (x *Sharded) retire(s int32) {
+	for _, v := range x.shards[s].verts {
+		x.shardOf[v] = -1
+		x.localID[v] = -1
+	}
+	x.shards[s] = nil
+	x.free = append(x.free, s)
+}
+
+// install places a freshly built shard into a free slot (or a new one)
+// and points its vertices at it.
+func (x *Sharded) install(sh *shard) {
+	var s int32
+	if len(x.free) > 0 {
+		s = x.free[len(x.free)-1]
+		x.free = x.free[:len(x.free)-1]
+		x.shards[s] = sh
+	} else {
+		s = int32(len(x.shards))
+		x.shards = append(x.shards, sh)
+	}
+	for li, v := range sh.verts {
+		x.shardOf[v] = s
+		x.localID[v] = int32(li)
+	}
+}
+
+// translateOwners rewrites a shard-local update's touched owners (Gb
+// vertices of the shard's conversion) into Gb vertices of the global
+// graph's conversion, preserving the in/out side, so consumers like the
+// top-k monitor keep applying bipartite.Original unchanged.
+func (x *Sharded) translateOwners(sh *shard, st *pll.UpdateStats) {
+	for i, o := range st.TouchedOwners {
+		gv := int(sh.verts[bipartite.Original(int(o))])
+		if bipartite.IsIn(int(o)) {
+			st.TouchedOwners[i] = int32(bipartite.InVertex(gv))
+		} else {
+			st.TouchedOwners[i] = int32(bipartite.OutVertex(gv))
+		}
+	}
+}
+
+// touchAll marks every vertex of a rebuilt component as touched (its
+// v_in Gb id stands for the couple).
+func touchAll(verts []int32) []int32 {
+	out := make([]int32, len(verts))
+	for i, v := range verts {
+		out[i] = int32(bipartite.InVertex(int(v)))
+	}
+	return out
+}
+
+// AddVertex grows the graph by one isolated vertex — a fresh trivial
+// component, so no shard changes.
+func (x *Sharded) AddVertex() (int, error) {
+	v := x.g.AddVertex()
+	x.shardOf = append(x.shardOf, -1)
+	x.localID = append(x.localID, -1)
+	return v, nil
+}
+
+// DetachVertex removes every incident edge of v through maintained
+// deletions, leaving v isolated (and trivial).
+func (x *Sharded) DetachVertex(v int) (int, error) {
+	return detachVertex(x.g, v, x.DeleteEdge)
+}
+
+// Graph returns the original graph. Callers must not mutate it directly.
+func (x *Sharded) Graph() *graph.Digraph { return x.g }
+
+// EntryCount sums label entries across live shards.
+func (x *Sharded) EntryCount() int {
+	total := 0
+	for _, sh := range x.shards {
+		if sh != nil {
+			total += sh.idx.EntryCount()
+		}
+	}
+	return total
+}
+
+// Bytes is the label footprint (8 bytes per entry).
+func (x *Sharded) Bytes() int { return 8 * x.EntryCount() }
+
+// ReducedBytes sums the couple-merged footprint across shards.
+func (x *Sharded) ReducedBytes() int {
+	total := 0
+	for _, sh := range x.shards {
+		if sh != nil {
+			total += sh.idx.ReducedBytes()
+		}
+	}
+	return total
+}
+
+// NumShards counts the live non-trivial components.
+func (x *Sharded) NumShards() int {
+	n := 0
+	for _, sh := range x.shards {
+		if sh != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TrivialVertices counts vertices outside every shard — the label-free
+// share of the graph.
+func (x *Sharded) TrivialVertices() int {
+	n := 0
+	for _, s := range x.shardOf {
+		if s < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Rebuilds reports how many scoped rebuilds dynamic updates triggered:
+// component merges (insertions) and splits (deletions).
+func (x *Sharded) Rebuilds() (merges, splits int) { return x.merges, x.splits }
+
+// ShardOf returns the shard slot serving v, or -1 for trivial vertices
+// (tests and diagnostics).
+func (x *Sharded) ShardOf(v int) int { return int(x.shardOf[v]) }
+
+// liveShards returns the live shards sorted by smallest member vertex —
+// the stable order serialization and validation walk them in.
+func (x *Sharded) liveShards() []*shard {
+	var out []*shard
+	for _, sh := range x.shards {
+		if sh != nil {
+			out = append(out, sh)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].verts[0] < out[j].verts[0] })
+	return out
+}
+
+// checkConsistent validates the vertex→shard table against the shards
+// (tests only).
+func (x *Sharded) checkConsistent() error {
+	for _, sh := range x.shards {
+		if sh == nil {
+			continue
+		}
+		for li, v := range sh.verts {
+			s := x.shardOf[v]
+			if s < 0 || x.shards[s] != sh || int(x.localID[v]) != li {
+				return fmt.Errorf("csc: vertex %d maps to shard %d/local %d, expected %d", v, s, x.localID[v], li)
+			}
+		}
+	}
+	return nil
+}

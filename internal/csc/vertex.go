@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/bipartite"
+	"repro/internal/graph"
+	"repro/internal/pll"
 )
 
 // AddVertex grows the indexed graph by one isolated vertex and returns its
@@ -40,17 +42,24 @@ func (x *Index) AddVertex() (int, error) {
 // never recycled — the paper models vertex removal exactly this way, as a
 // series of edge deletions.
 func (x *Index) DetachVertex(v int) (int, error) {
+	return detachVertex(x.g, v, x.DeleteEdge)
+}
+
+// detachVertex is the shared detach loop behind both Counter
+// implementations: copy the adjacency before mutating it, then route
+// every incident edge through the maintained deletion path.
+func detachVertex(g *graph.Digraph, v int, del func(a, b int) (pll.UpdateStats, error)) (int, error) {
 	removed := 0
-	out := append([]int32(nil), x.g.Out(v)...)
+	out := append([]int32(nil), g.Out(v)...)
 	for _, w := range out {
-		if _, err := x.DeleteEdge(v, int(w)); err != nil {
+		if _, err := del(v, int(w)); err != nil {
 			return removed, err
 		}
 		removed++
 	}
-	in := append([]int32(nil), x.g.In(v)...)
+	in := append([]int32(nil), g.In(v)...)
 	for _, w := range in {
-		if _, err := x.DeleteEdge(int(w), v); err != nil {
+		if _, err := del(int(w), v); err != nil {
 			return removed, err
 		}
 		removed++

@@ -1,4 +1,5 @@
-// Package engine turns a csc.Index into a concurrent serving system: any
+// Package engine turns a csc.Counter — the monolithic or the SCC-sharded
+// CSC index — into a concurrent serving system: any
 // number of reader goroutines answer SCCnt queries while one writer
 // goroutine drains a batched update mailbox, coalesces redundant edge
 // operations against the live graph, applies each batch inside a short
@@ -88,6 +89,13 @@ func (o *Options) fill() {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
 	}
+	// The WAL record decoder rejects batches above maxBatchOps as corrupt,
+	// and replay would then silently truncate acknowledged data as a torn
+	// tail — never allow a batch that large to be written in the first
+	// place.
+	if o.MaxBatch > maxBatchOps {
+		o.MaxBatch = maxBatchOps
+	}
 	if o.FlushInterval == 0 {
 		o.FlushInterval = 2 * time.Millisecond
 	}
@@ -115,10 +123,10 @@ type Stats struct {
 	Err          string `json:"error,omitempty"`
 }
 
-// Engine serves one csc.Index under the single-writer / many-reader
+// Engine serves one csc.Counter under the single-writer / many-reader
 // protocol.
 type Engine struct {
-	ix   *csc.Index
+	ix   csc.Counter
 	n    int
 	lock *stripedRW
 	opts Options
@@ -159,7 +167,7 @@ type ctlReq struct {
 // New wraps an index in an in-memory engine (no durability) and starts
 // its writer goroutine. The engine owns the index from here on: mutate it
 // only through Insert/Delete, query it through CycleCount.
-func New(ix *csc.Index, opts Options) *Engine {
+func New(ix csc.Counter, opts Options) *Engine {
 	return start(ix, nil, 0, opts)
 }
 
@@ -168,7 +176,7 @@ func New(ix *csc.Index, opts Options) *Engine {
 // store — and WAL batches beyond it are replayed before serving starts.
 // Every batch the returned engine applies is WAL-logged before it
 // mutates the index.
-func Open(dir string, bootstrap func() (*csc.Index, error), opts Options) (*Engine, error) {
+func Open(dir string, bootstrap func() (csc.Counter, error), opts Options) (*Engine, error) {
 	st, err := OpenStore(dir)
 	if err != nil {
 		return nil, err
@@ -181,7 +189,7 @@ func Open(dir string, bootstrap func() (*csc.Index, error), opts Options) (*Engi
 	return start(ix, st, seq, opts), nil
 }
 
-func start(ix *csc.Index, st *Store, seq uint64, opts Options) *Engine {
+func start(ix csc.Counter, st *Store, seq uint64, opts Options) *Engine {
 	opts.fill()
 	lock := newStripedRW()
 	e := &Engine{
@@ -210,7 +218,7 @@ func (e *Engine) NumVertices() int { return e.n }
 // Index exposes the underlying index. The caller must only read it, and
 // only while no batch can be applying (after Flush with no concurrent
 // enqueuers, or from a post-batch hook).
-func (e *Engine) Index() *csc.Index { return e.ix }
+func (e *Engine) Index() csc.Counter { return e.ix }
 
 // Seq returns the sequence number of the last applied batch.
 func (e *Engine) Seq() uint64 { return e.seq.Load() }
@@ -314,7 +322,7 @@ func (e *Engine) Snapshot() error {
 }
 
 // WriteTo flushes pending batches and serializes the index. It implements
-// the same format as csc.Index.WriteTo; the write happens on the writer
+// the same format as the index's own WriteTo; the write happens on the writer
 // goroutine, so it sees a quiescent index while readers keep serving.
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 	var n int64

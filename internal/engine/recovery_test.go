@@ -19,7 +19,7 @@ import (
 func TestKilledEngineRecoversByteIdentical(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		dir := t.TempDir()
-		bootstrap := func() (*csc.Index, error) {
+		bootstrap := func() (csc.Counter, error) {
 			g := randomGraph(40, 90, 100+seed)
 			x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
 			return x, nil
@@ -68,7 +68,7 @@ func TestKilledEngineRecoversByteIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		e2, err := Open(dir, func() (*csc.Index, error) {
+		e2, err := Open(dir, func() (csc.Counter, error) {
 			t.Fatal("bootstrap called: snapshot was not found")
 			return nil, nil
 		}, Options{})

@@ -17,7 +17,7 @@ import (
 
 // Durability layout: a store directory holds at most two files.
 //
-//	snapshot.csc  "CSCSNAP1" + seq uint64 + csc.Index.WriteTo bytes
+//	snapshot.csc  "CSCSNAP1" + seq uint64 + index WriteTo bytes (v1 or v2)
 //	wal.log       "CSCWAL01" + a sequence of batch records
 //
 // One WAL record (little endian):
@@ -99,7 +99,7 @@ func (s *Store) WALBytes() int64 { return s.walBytes }
 // number, returning the recovered index and the last applied sequence
 // number. A torn WAL tail is truncated; the WAL is left positioned for
 // appending.
-func (s *Store) Recover(bootstrap func() (*csc.Index, error)) (*csc.Index, uint64, error) {
+func (s *Store) Recover(bootstrap func() (csc.Counter, error)) (csc.Counter, uint64, error) {
 	ix, seq, err := s.loadSnapshot()
 	if err != nil {
 		return nil, 0, err
@@ -120,7 +120,7 @@ func (s *Store) Recover(bootstrap func() (*csc.Index, error)) (*csc.Index, uint6
 }
 
 // loadSnapshot returns (nil, 0, nil) when no snapshot file exists.
-func (s *Store) loadSnapshot() (*csc.Index, uint64, error) {
+func (s *Store) loadSnapshot() (csc.Counter, uint64, error) {
 	f, err := os.Open(filepath.Join(s.dir, snapshotFile))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, 0, nil
@@ -146,7 +146,7 @@ func (s *Store) loadSnapshot() (*csc.Index, uint64, error) {
 
 // replay applies WAL records with sequence numbers beyond snapSeq to ix
 // and repairs the WAL file (header creation, torn-tail truncation).
-func (s *Store) replay(ix *csc.Index, snapSeq uint64) (uint64, error) {
+func (s *Store) replay(ix csc.Counter, snapSeq uint64) (uint64, error) {
 	data, err := io.ReadAll(s.wal)
 	if err != nil {
 		return 0, err
@@ -239,7 +239,7 @@ func decodeRecord(data []byte) (rec walRecord, recLen int, ok bool) {
 	return rec, payload + 4, true
 }
 
-func applyRecord(ix *csc.Index, rec walRecord) error {
+func applyRecord(ix csc.Counter, rec walRecord) error {
 	for i, op := range rec.ops {
 		var err error
 		switch op.Kind {
@@ -289,7 +289,7 @@ func (s *Store) Append(seq uint64, batch []Op) error {
 // recovery from the new snapshot no longer needs the logged batches. A
 // crash between the rename and the truncation is benign — replay skips
 // records at or below the snapshot's sequence number.
-func (s *Store) WriteSnapshot(seq uint64, ix *csc.Index) error {
+func (s *Store) WriteSnapshot(seq uint64, ix csc.Counter) error {
 	path := filepath.Join(s.dir, snapshotFile)
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)

@@ -8,12 +8,11 @@ import (
 
 	"repro/internal/csc"
 	"repro/internal/graph"
-	"repro/internal/label"
 	"repro/internal/order"
 )
 
-func emptyIndex(n int) func() (*csc.Index, error) {
-	return func() (*csc.Index, error) {
+func emptyIndex(n int) func() (csc.Counter, error) {
+	return func() (csc.Counter, error) {
 		g := graph.New(n)
 		x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
 		return x, nil
@@ -66,7 +65,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	assertLabelsEqual(t, ix, ix2)
 }
 
-func applyBatch(ix *csc.Index, b []Op) (int, error) {
+func applyBatch(ix csc.Counter, b []Op) (int, error) {
 	for _, op := range b {
 		var err error
 		if op.Kind == OpInsert {
@@ -81,43 +80,20 @@ func applyBatch(ix *csc.Index, b []Op) (int, error) {
 	return len(b), nil
 }
 
-// assertLabelsEqual asserts byte-identical label lists.
-func assertLabelsEqual(t *testing.T, a, b *csc.Index) {
+// assertLabelsEqual asserts byte-identical serialized state (graph,
+// ordering and every label list — for either index form).
+func assertLabelsEqual(t *testing.T, a, b csc.Counter) {
 	t.Helper()
-	ea, eb := a.Engine(), b.Engine()
-	if la, lb := len(ea.In), len(eb.In); la != lb {
-		t.Fatalf("vertex counts differ: %d vs %d", la, lb)
+	var ba, bb bytes.Buffer
+	if _, err := a.WriteTo(&ba); err != nil {
+		t.Fatal(err)
 	}
-	for v := range ea.In {
-		for side, pair := range [][2][]uint64{
-			{entriesOf(ea.InLabel(v)), entriesOf(eb.InLabel(v))},
-			{entriesOf(ea.OutLabel(v)), entriesOf(eb.OutLabel(v))},
-		} {
-			if !equalU64(pair[0], pair[1]) {
-				t.Fatalf("label lists differ at vertex %d side %d:\n%v\n%v", v, side, pair[0], pair[1])
-			}
-		}
+	if _, err := b.WriteTo(&bb); err != nil {
+		t.Fatal(err)
 	}
-}
-
-func entriesOf(l *label.List) []uint64 {
-	out := make([]uint64, l.Len())
-	for i, e := range l.Entries() {
-		out[i] = uint64(e)
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatalf("serialized state differs: %d vs %d bytes", ba.Len(), bb.Len())
 	}
-	return out
-}
-
-func equalU64(a, b []uint64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // Torn tail: a crash mid-append must lose only the torn record.

@@ -38,6 +38,12 @@ type BenchResult struct {
 	// Serve is the engine-throughput experiment: queries/sec sustained by
 	// GOMAXPROCS concurrent readers at each update rate (serve.go).
 	Serve []ServePoint `json:"serve,omitempty"`
+
+	// Sharding is set on the synthetic partition-family rows the suite
+	// appends after the paper-analog datasets: the monolithic-vs-sharded
+	// build comparison (sharding.go). On those rows the standard
+	// build/size fields describe the sharded build.
+	Sharding *ShardingRow `json:"sharding,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -122,11 +128,28 @@ func Bench(s Scale, d Dataset) BenchResult {
 	return res
 }
 
-// BenchSuite runs Bench over the given datasets.
+// BenchSuite runs Bench over the given datasets, then appends one row per
+// condensation-sharding family (Sharding) so the mono-vs-sharded build
+// trajectory lands in the same BENCH_*.json artifact.
 func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 	var out []BenchResult
 	for _, d := range ds {
 		out = append(out, Bench(s, d))
+	}
+	for _, row := range Sharding(s) {
+		row := row
+		out = append(out, BenchResult{
+			Dataset:     "SHARD-" + row.Family,
+			Scale:       s.String(),
+			Workers:     Workers,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			N:           row.N,
+			M:           row.M,
+			BuildWallNS: row.ShardedBuildNS,
+			Entries:     row.ShardedBytes / 8,
+			Bytes:       row.ShardedBytes,
+			Sharding:    &row,
+		})
 	}
 	return out
 }

@@ -232,3 +232,51 @@ func TestBenchSuiteEmitsServePoints(t *testing.T) {
 		}
 	}
 }
+
+// The sharding experiment is the tentpole's acceptance gate: on the
+// DAG-heavy family the sharded build must be at least 2x faster and at
+// least 2x smaller than the monolithic one, and both numbers land in the
+// BENCH_*.json artifact through BenchSuite's SHARD-* rows.
+func TestShardingExperiment(t *testing.T) {
+	rows := Sharding(Tiny)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byFam := map[string]ShardingRow{}
+	for _, r := range rows {
+		if r.N == 0 || r.MonoBuildNS <= 0 || r.ShardedBuildNS <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		byFam[r.Family] = r
+	}
+	dag := byFam["dag-heavy"]
+	if dag.BuildSpeedup < 2 {
+		t.Fatalf("dag-heavy build speedup %.2fx < 2x: %+v", dag.BuildSpeedup, dag)
+	}
+	if dag.BytesReduction < 2 {
+		t.Fatalf("dag-heavy bytes reduction %.2fx < 2x: %+v", dag.BytesReduction, dag)
+	}
+	if dag.TrivialVertices < dag.N*8/10 {
+		t.Fatalf("dag-heavy family not DAG-heavy: %d trivial of %d", dag.TrivialVertices, dag.N)
+	}
+	giant := byFam["giant-scc"]
+	if giant.Shards != 1 || giant.TrivialVertices != 0 {
+		t.Fatalf("giant-scc family not a single component: %+v", giant)
+	}
+	// Giant-SCC labels must match the monolithic ones exactly — sharding
+	// with one shard is the same labeling problem.
+	if giant.MonoBytes != giant.ShardedBytes {
+		t.Fatalf("giant-scc bytes diverge: mono %d sharded %d", giant.MonoBytes, giant.ShardedBytes)
+	}
+	many := byFam["many-small-scc"]
+	if many.Shards < 10 {
+		t.Fatalf("many-small-scc produced %d shards", many.Shards)
+	}
+	var buf bytes.Buffer
+	if err := WriteSharding(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dag-heavy") {
+		t.Fatal("table missing family name")
+	}
+}

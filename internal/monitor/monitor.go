@@ -52,7 +52,7 @@ func rankBefore(a, b Score) bool {
 // concurrently with Rescore (the scoreboard is mutex-guarded); index
 // queries themselves are synchronized by whoever applies the updates.
 type TopK struct {
-	x *csc.Index
+	x csc.Counter
 	k int
 
 	mu     sync.RWMutex
@@ -62,11 +62,11 @@ type TopK struct {
 // New wraps an index and scores every vertex once, using every core for
 // the warm pass. In standalone use the monitor owns the index from here
 // on: route updates through TopK's methods.
-func New(x *csc.Index, k int) *TopK { return NewParallel(x, k, 0) }
+func New(x csc.Counter, k int) *TopK { return NewParallel(x, k, 0) }
 
 // NewParallel is New with explicit warm-pass parallelism (0 = all cores;
 // csc.CycleCountAll clamps workers to the vertex count either way).
-func NewParallel(x *csc.Index, k, workers int) *TopK {
+func NewParallel(x csc.Counter, k, workers int) *TopK {
 	n := x.Graph().NumVertices()
 	m := &TopK{x: x, k: k, scores: make([]Score, n)}
 	m.RescoreAll(workers)
@@ -74,7 +74,7 @@ func NewParallel(x *csc.Index, k, workers int) *TopK {
 }
 
 // Index exposes the underlying index for queries.
-func (m *TopK) Index() *csc.Index { return m.x }
+func (m *TopK) Index() csc.Counter { return m.x }
 
 // RescoreAll refreshes every vertex with the given query parallelism —
 // the warm pass. The index must be quiescent for the duration.

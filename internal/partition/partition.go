@@ -1,0 +1,234 @@
+// Package partition computes the condensation of a directed graph — its
+// strongly connected components — and the helpers the SCC-sharded CSC
+// index routes through. Every directed cycle lies entirely inside one
+// SCC, so the index never needs labels that cross component boundaries:
+// trivial (single-vertex) components answer SCCnt = 0 with no labels at
+// all, and non-trivial components get independent sub-indexes over their
+// induced subgraphs.
+//
+// Component ids are stable: components are numbered by their smallest
+// vertex id and each component's vertex list is sorted ascending, so the
+// decomposition — and everything built on top of it, including the
+// sharded serialization — is a pure function of the edge set, independent
+// of adjacency order or traversal luck.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Partition is the SCC decomposition of a digraph under the stable
+// numbering described in the package comment.
+type Partition struct {
+	// Comp[v] is the component id of vertex v.
+	Comp []int32
+	// Comps[c] lists component c's vertices, sorted ascending. Components
+	// are ordered by their smallest vertex.
+	Comps [][]int32
+}
+
+// SCC computes the strongly connected components of g with an iterative
+// Tarjan walk (explicit stack — no recursion, so deep chains cannot
+// overflow the goroutine stack).
+func SCC(g *graph.Digraph) *Partition {
+	n := g.NumVertices()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for v := range index {
+		index[v] = unvisited
+		comp[v] = -1
+	}
+	stack := make([]int32, 0, n)
+	var next int32
+
+	// frame is one suspended DFS call: vertex v, and how many of its
+	// out-edges were already expanded.
+	type frame struct {
+		v    int32
+		edge int32
+	}
+	var frames []frame
+	var raw [][]int32
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: int32(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			out := g.Out(int(v))
+			if int(f.edge) < len(out) {
+				w := out[f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].v; low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] { // v is a component root
+				var members []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				raw = append(raw, members)
+			}
+		}
+	}
+
+	// Stable renumbering: sort members ascending, components by first
+	// member.
+	for _, members := range raw {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i][0] < raw[j][0] })
+	for c, members := range raw {
+		for _, v := range members {
+			comp[v] = int32(c)
+		}
+	}
+	return &Partition{Comp: comp, Comps: raw}
+}
+
+// NonTrivial returns the components with at least two vertices — the only
+// ones that can host a directed cycle (the graph substrate rejects
+// self-loops, so a single vertex is never cyclic).
+func (p *Partition) NonTrivial() [][]int32 {
+	var out [][]int32
+	for _, c := range p.Comps {
+		if len(c) >= 2 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Induced builds the subgraph of g induced by verts, with local ids
+// assigned by position in verts. Edges leaving the vertex set are
+// dropped — exactly the cross-component edges the sharded index keeps
+// label-free.
+func Induced(g *graph.Digraph, verts []int32) *graph.Digraph {
+	local := make(map[int32]int32, len(verts))
+	for li, v := range verts {
+		local[v] = int32(li)
+	}
+	sub := graph.New(len(verts))
+	for li, v := range verts {
+		for _, w := range g.Out(int(v)) {
+			lw, ok := local[w]
+			if !ok {
+				continue
+			}
+			if err := sub.AddEdge(li, int(lw)); err != nil {
+				panic(err) // unreachable: g has no duplicates or self-loops
+			}
+		}
+	}
+	return sub
+}
+
+// Reachable reports whether to is reachable from from (BFS over
+// out-edges). Reachable(g, v, v) is true via the empty path.
+func Reachable(g *graph.Digraph, from, to int) bool {
+	return reachable(g, from, to, -1, -1)
+}
+
+// ReachableSkip is Reachable with one edge (skipU → skipV) excluded from
+// the walk — the split test for a deletion asks whether the removed
+// edge's tail still reaches its head some other way.
+func ReachableSkip(g *graph.Digraph, from, to, skipU, skipV int) bool {
+	return reachable(g, from, to, skipU, skipV)
+}
+
+func reachable(g *graph.Digraph, from, to, skipU, skipV int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, g.NumVertices())
+	seen[from] = true
+	queue := []int32{int32(from)}
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		for _, w := range g.Out(v) {
+			if v == skipU && int(w) == skipV {
+				continue
+			}
+			if int(w) == to {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// ComponentOf returns the strongly connected component containing v as a
+// sorted vertex list: the intersection of v's forward and backward
+// reachability sets. The sharded index calls it after an insertion merged
+// components, when only v's component — not the whole decomposition — is
+// stale.
+func ComponentOf(g *graph.Digraph, v int) []int32 {
+	fwd := reachSet(g, v, false)
+	bwd := reachSet(g, v, true)
+	var members []int32
+	for w, ok := range fwd {
+		if ok && bwd[w] {
+			members = append(members, int32(w))
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	return members
+}
+
+func reachSet(g *graph.Digraph, from int, reverse bool) []bool {
+	seen := make([]bool, g.NumVertices())
+	seen[from] = true
+	queue := []int32{int32(from)}
+	for head := 0; head < len(queue); head++ {
+		v := int(queue[head])
+		nbrs := g.Out(v)
+		if reverse {
+			nbrs = g.In(v)
+		}
+		for _, w := range nbrs {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}

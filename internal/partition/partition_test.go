@@ -1,0 +1,167 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]int) *graph.Digraph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSCCBasics(t *testing.T) {
+	// Two triangles joined by a one-way bridge, plus an isolated vertex
+	// and a dangling tail.
+	g := mustGraph(t, 8, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, // comp {0,1,2}
+		{2, 3},                 // bridge
+		{3, 4}, {4, 5}, {5, 3}, // comp {3,4,5}
+		{5, 6}, // tail
+	})
+	p := SCC(g)
+	want := map[int][]int32{
+		0: {0, 1, 2}, 1: {3, 4, 5}, 2: {6}, 3: {7},
+	}
+	if len(p.Comps) != len(want) {
+		t.Fatalf("got %d comps: %v", len(p.Comps), p.Comps)
+	}
+	for c, verts := range want {
+		got := p.Comps[c]
+		if len(got) != len(verts) {
+			t.Fatalf("comp %d = %v, want %v", c, got, verts)
+		}
+		for i := range verts {
+			if got[i] != verts[i] {
+				t.Fatalf("comp %d = %v, want %v", c, got, verts)
+			}
+		}
+		for _, v := range verts {
+			if p.Comp[v] != int32(c) {
+				t.Fatalf("Comp[%d] = %d, want %d", v, p.Comp[v], c)
+			}
+		}
+	}
+	nt := p.NonTrivial()
+	if len(nt) != 2 || nt[0][0] != 0 || nt[1][0] != 3 {
+		t.Fatalf("NonTrivial = %v", nt)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 200k-vertex path would blow a recursive Tarjan's goroutine stack.
+	n := 200_000
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		if err := g.AddEdge(v, v+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := SCC(g)
+	if len(p.Comps) != n {
+		t.Fatalf("path graph: %d comps, want %d", len(p.Comps), n)
+	}
+}
+
+// SCC agrees with the O(n·(n+m)) mutual-reachability definition on random
+// graphs, and the numbering is stable under adjacency-order shuffles.
+func TestSCCMatchesReachabilityOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(14)
+		g := graph.New(n)
+		m := r.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		p := SCC(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := Reachable(g, u, v) && Reachable(g, v, u)
+				if same != (p.Comp[u] == p.Comp[v]) {
+					t.Fatalf("trial %d: vertices %d,%d same-comp=%v but Comp %d,%d",
+						trial, u, v, same, p.Comp[u], p.Comp[v])
+				}
+			}
+		}
+		// Rebuild the same edge set in a different insertion order: the
+		// decomposition must be identical.
+		edges := g.Edges()
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		g2, err := graph.FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2 := SCC(g2)
+		for v := 0; v < n; v++ {
+			if p.Comp[v] != p2.Comp[v] {
+				t.Fatalf("trial %d: unstable numbering at vertex %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := mustGraph(t, 6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {2, 3}, {4, 0}, {1, 5},
+	})
+	sub := Induced(g, []int32{0, 1, 2})
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced: %d vertices, %d edges", sub.NumVertices(), sub.NumEdges())
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if !sub.HasEdge(e[0], e[1]) {
+			t.Fatalf("induced missing edge %v", e)
+		}
+	}
+}
+
+func TestReachableSkip(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 2}})
+	if !Reachable(g, 0, 2) {
+		t.Fatal("0 should reach 2")
+	}
+	// Skipping the direct edge 0→2 leaves 0→1→2.
+	if !ReachableSkip(g, 0, 2, 0, 2) {
+		t.Fatal("0 should reach 2 without the direct edge")
+	}
+	// Skipping 0→1 with the direct edge also removed from the graph: gone.
+	if err := g.RemoveEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ReachableSkip(g, 0, 2, 0, 1) {
+		t.Fatal("0 must not reach 2 when both routes are cut")
+	}
+}
+
+func TestComponentOf(t *testing.T) {
+	g := mustGraph(t, 6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}, {5, 0},
+	})
+	got := ComponentOf(g, 1)
+	want := []int32{0, 1, 2}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("unsorted: %v", got)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ComponentOf(1) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ComponentOf(1) = %v, want %v", got, want)
+		}
+	}
+	if solo := ComponentOf(g, 5); len(solo) != 1 || solo[0] != 5 {
+		t.Fatalf("ComponentOf(5) = %v", solo)
+	}
+}

@@ -13,14 +13,12 @@ import (
 //
 //  1. identify the affected vertex sets using *pre-deletion* distances —
 //     SA = {v : sd(v,a)+1 = sd(v,b)} on the a side and
-//     SB = {u : sd(b,u)+1 = sd(a,u)} on the b side. Every label entry that
-//     can route through (a,b) links an SA vertex to an SB vertex, and its
-//     hub side additionally appears among the hubs of Lin(a) (sources) or
-//     Lout(b) (targets of out-entries), because the hub is the top-ranked
-//     vertex of the corresponding path prefix/suffix;
-//  2. delete every label entry linking hubA = hubs(Lin(a)) ∩ SA to SB and
-//     every entry linking SA to hubB = hubs(Lout(b)) ∩ SB — a superset of
-//     the out-of-date entries;
+//     SB = {u : sd(b,u)+1 = sd(a,u)} on the b side. Every pair whose
+//     distance the deletion grows — including pairs whose only record is a
+//     stale dominated entry left behind by an earlier redundancy-mode
+//     update — links an SA vertex to an SB vertex;
+//  2. delete every label entry linking an SA hub to an SB owner and an SB
+//     hub to an SA owner — a superset of the out-of-date entries;
 //  3. re-run construction-style pruned counting BFSes forward from every
 //     SA vertex and backward from every SB vertex on G−, in descending
 //     rank order, re-inserting labels only for the affected counterpart
@@ -56,34 +54,32 @@ func (idx *Index) DeleteEdge(a, b int) (UpdateStats, error) {
 		}
 	}
 
-	// Affected hubs: rank sets restricted to the label hubs of a and b.
-	hubASet := make(map[int]bool)
-	for _, e := range idx.In[a].Entries() {
-		if v := idx.Ord.VertexAt(e.Hub()); inSA[v] {
-			hubASet[e.Hub()] = true
-		}
-	}
-	hubBSet := make(map[int]bool)
-	for _, e := range idx.Out[b].Entries() {
-		if v := idx.Ord.VertexAt(e.Hub()); inSB[v] {
-			hubBSet[e.Hub()] = true
-		}
-	}
-
 	if err := idx.G.RemoveEdge(a, b); err != nil {
 		return st, err
 	}
 
-	// Step 2: scan the labels of affected vertices and drop linking
-	// entries. Self entries are never dropped — no edge deletion can
-	// invalidate the empty path.
+	// Step 2: scan the labels of affected vertices and drop every entry
+	// linking an SA hub to an SB owner (in-side) or an SB hub to an SA
+	// owner (out-side). Self entries are never dropped — no edge deletion
+	// can invalidate the empty path.
+	//
+	// The drop must cover the full SA × SB rectangle, not just the hubs
+	// currently listed in Lin(a)/Lout(b): under the redundancy strategy a
+	// dominated entry left behind by an earlier update keeps a distance
+	// larger than the (then) shortest one, so its path prefix through a is
+	// no longer a shortest path and its hub has no reason to still appear
+	// in Lin(a) — yet this deletion can raise the pair's true distance
+	// past the stale entry's, at which point it would start answering
+	// queries. Any such pair's distance grows, which places (hub, owner)
+	// in SA × SB, so the rectangle drop catches it; step 3 re-inserts
+	// whatever was still valid.
 	var drop []int
 	for _, y32 := range sb {
 		y := int(y32)
 		yRank := idx.Ord.Rank(y)
 		drop = drop[:0]
 		for _, e := range idx.In[y].Entries() {
-			if e.Hub() != yRank && hubASet[e.Hub()] {
+			if e.Hub() != yRank && inSA[idx.Ord.VertexAt(e.Hub())] {
 				drop = append(drop, e.Hub())
 			}
 		}
@@ -99,7 +95,7 @@ func (idx *Index) DeleteEdge(a, b int) (UpdateStats, error) {
 		xRank := idx.Ord.Rank(x)
 		drop = drop[:0]
 		for _, e := range idx.Out[x].Entries() {
-			if e.Hub() != xRank && hubBSet[e.Hub()] {
+			if e.Hub() != xRank && inSB[idx.Ord.VertexAt(e.Hub())] {
 				drop = append(drop, e.Hub())
 			}
 		}
@@ -119,9 +115,7 @@ func (idx *Index) DeleteEdge(a, b int) (UpdateStats, error) {
 	// pair's distance grows, the new (longer) shortest paths can have a
 	// top-ranked vertex that had no pre-deletion label relationship with
 	// a or b — only the distance conditions defining SA/SB are guaranteed
-	// for it. (Stale-entry *removal* above may stay hub-restricted, since
-	// an invalidated entry's hub provably appears in Lin(a)/Lout(b).)
-	// Most passes die immediately under rank and distance pruning.
+	// for it. Most passes die immediately under rank and distance pruning.
 	// A pass can only insert entries at counterpart vertices ranked below
 	// its hub, so hubs ranked below every counterpart are skipped.
 	lowestSA, lowestSB := -1, -1 // numerically largest rank in each set

@@ -77,12 +77,23 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	return cw.n, cw.w.(*bufio.Writer).Flush()
+	// Flush before reading the count — the order of a plain operand read
+	// against a call in one return list is unspecified.
+	err := cw.w.(*bufio.Writer).Flush()
+	return cw.n, err
 }
 
 // ReadIndex deserializes an index written by WriteTo.
 func ReadIndex(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
+	return ReadIndexFrom(bufio.NewReader(r))
+}
+
+// ReadIndexFrom is ReadIndex reading through a caller-owned bufio.Reader.
+// Container formats that embed index blobs back-to-back (the sharded CSC
+// serialization) must use it: reading exactly through the caller's
+// buffered reader never prefetches bytes that belong to the next section,
+// which a privately wrapped bufio would swallow.
+func ReadIndexFrom(br *bufio.Reader) (*Index, error) {
 	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 
 	var magic [8]byte

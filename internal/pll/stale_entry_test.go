@@ -1,0 +1,64 @@
+package pll
+
+import (
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// Regression: a redundancy-mode update sequence used to leave a stale
+// dominated entry whose hub had vanished from Lin(a)/Lout(b), so the
+// hub-restricted decremental step 2 skipped it; a later deletion then
+// raised the pair's true distance past the stale entry's and the garbage
+// started answering queries. Step 2 must drop the full SA × SB rectangle.
+//
+// Sequence (found by FuzzShardedUpdateStream, shrunk): insert closes a
+// 3-cycle, a second insert closes a dominating 2-cycle, deleting the
+// 3-cycle edge leaves its entries dominated-but-dead, deleting the
+// 2-cycle edge exposed them.
+func TestDeleteDropsStaleDominatedEntries(t *testing.T) {
+	g, err := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 4}, {5, 0}, {5, 2}, {5, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := Build(g, order.ByDegree(g), Options{Strategy: Redundancy})
+	steps := []struct {
+		ins  bool
+		u, v int
+	}{
+		{true, 4, 0},  // closes 0→1→4→0
+		{true, 0, 5},  // closes 0⇄5, dominating the 3-cycle
+		{false, 4, 0}, // 3-cycle entries die but stay dominated
+		{false, 0, 5}, // 2-cycle gone: nothing may expose the dead entries
+	}
+	for _, s := range steps {
+		var err error
+		if s.ins {
+			_, err = idx.InsertEdge(s.u, s.v)
+		} else {
+			_, err = idx.DeleteEdge(s.u, s.v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := 0; x < g.NumVertices(); x++ {
+			for y := 0; y < g.NumVertices(); y++ {
+				gd, gc := idx.CountPaths(x, y)
+				wd, wc := bfscount.SPCount(g, x, y)
+				if wd == bfscount.NoCycle {
+					if gd != Unreachable {
+						t.Fatalf("after %+v: (%d,%d) index %d, truth unreachable", s, x, y, gd)
+					}
+					continue
+				}
+				if gd != wd || gc != wc {
+					t.Fatalf("after %+v: (%d,%d) index (%d,%d), truth (%d,%d)", s, x, y, gd, gc, wd, wc)
+				}
+			}
+		}
+	}
+}

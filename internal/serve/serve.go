@@ -138,7 +138,10 @@ func (s *server) top(w http.ResponseWriter, r *http.Request) {
 func (s *server) edges(kind engine.OpKind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req EdgesRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Bound the body so one hostile POST cannot buffer gigabytes into
+		// the daemon; 16 MiB is ~1M edges per request, far beyond any sane
+		// batch.
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, "bad body: %v", err)
 			return
 		}

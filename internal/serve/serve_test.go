@@ -19,7 +19,7 @@ import (
 
 func newServer(t *testing.T, n int, k int, dir string) (*engine.Engine, *httptest.Server) {
 	t.Helper()
-	bootstrap := func() (*csc.Index, error) {
+	bootstrap := func() (csc.Counter, error) {
 		g := graph.New(n)
 		x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
 		return x, nil
@@ -30,7 +30,7 @@ func newServer(t *testing.T, n int, k int, dir string) (*engine.Engine, *httptes
 	if dir != "" {
 		e, err = engine.Open(dir, bootstrap, opts)
 	} else {
-		var x *csc.Index
+		var x csc.Counter
 		x, err = bootstrap()
 		if err == nil {
 			e = engine.New(x, opts)

@@ -1,0 +1,68 @@
+// Package conform is the oracle-backed conformance runner for the CSC
+// index implementations: for any graph it cross-checks the SCC-sharded
+// index, the monolithic index, and the BFS-CYCLE oracle (Algorithm 1) on
+// every vertex, plus the sharded serialization roundtrip. It lives in a
+// subpackage of testgraphs so the corpus stays importable from packages
+// the runner itself depends on (bfscount, csc).
+package conform
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/csc"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/testgraphs"
+)
+
+// Graph cross-checks one graph: sharded vs monolithic vs oracle CycleCount
+// on every vertex, and a v2 serialization roundtrip of the sharded form.
+// The input graph is not mutated.
+func Graph(t testing.TB, name string, g *graph.Digraph) {
+	t.Helper()
+	oracleL, oracleC := bfscount.AllCycleCounts(g)
+	mono, _ := csc.Build(g.Clone(), order.ByDegree(g), csc.Options{})
+	shard, _ := csc.BuildSharded(g.Clone(), csc.Options{})
+	for v := 0; v < g.NumVertices(); v++ {
+		ml, mc := mono.CycleCount(v)
+		sl, sc := shard.CycleCount(v)
+		if ml != oracleL[v] || mc != oracleC[v] {
+			t.Fatalf("%s: vertex %d monolithic (%d,%d) != oracle (%d,%d)", name, v, ml, mc, oracleL[v], oracleC[v])
+		}
+		if sl != oracleL[v] || sc != oracleC[v] {
+			t.Fatalf("%s: vertex %d sharded (%d,%d) != oracle (%d,%d)", name, v, sl, sc, oracleL[v], oracleC[v])
+		}
+	}
+	// The sharded form must never store more label entries than the
+	// monolithic one — cross-component labels are exactly what it elides.
+	if shard.EntryCount() > mono.EntryCount() {
+		t.Fatalf("%s: sharded %d entries > monolithic %d", name, shard.EntryCount(), mono.EntryCount())
+	}
+	var buf bytes.Buffer
+	if _, err := shard.WriteTo(&buf); err != nil {
+		t.Fatalf("%s: serialize: %v", name, err)
+	}
+	loaded, err := csc.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%s: deserialize: %v", name, err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ll, lc := loaded.CycleCount(v)
+		if ll != oracleL[v] || lc != oracleC[v] {
+			t.Fatalf("%s: vertex %d loaded (%d,%d) != oracle (%d,%d)", name, v, ll, lc, oracleL[v], oracleC[v])
+		}
+	}
+}
+
+// Corpus runs Graph over every testgraphs corpus entry.
+func Corpus(t *testing.T) {
+	for _, ng := range testgraphs.Corpus() {
+		ng := ng
+		t.Run(ng.Name, func(t *testing.T) {
+			t.Parallel()
+			Graph(t, ng.Name, ng.G)
+		})
+	}
+}

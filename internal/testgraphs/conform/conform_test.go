@@ -1,0 +1,68 @@
+package conform
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/testgraphs"
+)
+
+// TestCorpusConformance is the conformance suite: sharded vs monolithic
+// vs BFS oracle on every vertex of every corpus graph, plus sharded
+// serialization roundtrips.
+func TestCorpusConformance(t *testing.T) {
+	Corpus(t)
+}
+
+// The corpus families must actually have the partition shapes they claim,
+// or the conformance suite stops covering what it says it covers.
+func TestFamilyShapes(t *testing.T) {
+	dag := testgraphs.DAGHeavy(300, 900, 5, 11)
+	p := partition.SCC(dag)
+	nt := p.NonTrivial()
+	if len(nt) != 5 {
+		t.Fatalf("DAGHeavy: %d non-trivial comps, want 5 planted rings", len(nt))
+	}
+	cyclic := 0
+	for _, c := range nt {
+		cyclic += len(c)
+	}
+	if cyclic > dag.NumVertices()/10 {
+		t.Fatalf("DAGHeavy: %d of %d vertices cyclic — not DAG-heavy", cyclic, dag.NumVertices())
+	}
+
+	giant := testgraphs.GiantSCC(200, 700, 31)
+	if nt := partition.SCC(giant).NonTrivial(); len(nt) != 1 || len(nt[0]) != 200 {
+		t.Fatalf("GiantSCC: not a single giant component: %d comps", len(nt))
+	}
+
+	many := testgraphs.ManySmallSCC(25, 5, 60, 51)
+	nt = partition.SCC(many).NonTrivial()
+	if len(nt) != 25 {
+		t.Fatalf("ManySmallSCC: %d non-trivial comps, want 25 rings", len(nt))
+	}
+	for _, c := range nt {
+		if len(c) != 5 {
+			t.Fatalf("ManySmallSCC: ring of size %d, want 5", len(c))
+		}
+	}
+}
+
+// Random graphs beyond the fixed corpus keep the runner honest.
+func TestRandomGraphConformance(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		n := 10 + r.Intn(40)
+		g := graph.New(n)
+		m := r.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		Graph(t, "random", g)
+	}
+}

@@ -1,0 +1,136 @@
+package testgraphs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// The corpus families below stress the SCC-sharded index from three
+// directions: graphs that are almost entirely acyclic (sharding should
+// skip nearly everything), graphs that are one giant component (sharding
+// should degrade to the monolithic build plus a Tarjan pass), and graphs
+// made of many small components linked by a DAG (sharding should produce
+// many independent sub-indexes). All generators are pure functions of
+// their parameters and seed.
+
+// DAGHeavy builds a mostly acyclic graph: m random forward edges under a
+// hidden topological order, plus `cycles` small planted directed rings
+// (length 3-5) on disjoint vertex groups. The overwhelming share of
+// vertices ends up in trivial SCCs.
+func DAGHeavy(n, m, cycles int, seed int64) *graph.Digraph {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	perm := r.Perm(n) // hidden topological order: edges go perm[i] → perm[j], i<j
+	// Plant rings on the first vertices of the hidden order so ring
+	// back-edges stay inside their group.
+	next := 0
+	for c := 0; c < cycles && next+5 <= n; c++ {
+		ringLen := 3 + r.Intn(3)
+		for k := 0; k < ringLen; k++ {
+			u := perm[next+k]
+			v := perm[next+(k+1)%ringLen]
+			if u != v {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		next += ringLen
+	}
+	attempts := 0
+	for g.NumEdges() < m && attempts < 20*m {
+		attempts++
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i // forward in the hidden order: never creates a cycle
+		}
+		_ = g.AddEdge(perm[i], perm[j])
+	}
+	return g
+}
+
+// GiantSCC builds a graph that is one strongly connected component: a
+// Hamiltonian ring through every vertex plus m-n random chords.
+func GiantSCC(n, m int, seed int64) *graph.Digraph {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		_ = g.AddEdge(v, (v+1)%n)
+	}
+	attempts := 0
+	for g.NumEdges() < m && attempts < 20*m {
+		attempts++
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// ManySmallSCC builds `rings` directed rings of `ringLen` vertices each,
+// linked by `bridges` random cross-ring edges that only ever point from a
+// lower-indexed ring to a higher-indexed one — so the rings stay separate
+// components and the bridges form a DAG over them.
+func ManySmallSCC(rings, ringLen, bridges int, seed int64) *graph.Digraph {
+	r := rand.New(rand.NewSource(seed))
+	n := rings * ringLen
+	g := graph.New(n)
+	for k := 0; k < rings; k++ {
+		base := k * ringLen
+		for i := 0; i < ringLen; i++ {
+			_ = g.AddEdge(base+i, base+(i+1)%ringLen)
+		}
+	}
+	attempts := 0
+	added := 0
+	for added < bridges && attempts < 20*bridges {
+		attempts++
+		k1, k2 := r.Intn(rings), r.Intn(rings)
+		if k1 == k2 {
+			continue
+		}
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		u := k1*ringLen + r.Intn(ringLen)
+		v := k2*ringLen + r.Intn(ringLen)
+		if g.AddEdge(u, v) == nil {
+			added++
+		}
+	}
+	return g
+}
+
+// NamedGraph is one corpus entry.
+type NamedGraph struct {
+	Name string
+	G    *graph.Digraph
+}
+
+// Corpus returns the conformance corpus: the fixed paper fixtures plus
+// seeded instances of the three partition-stress families at two sizes
+// each. Every graph is deterministic, so failures reproduce by name.
+func Corpus() []NamedGraph {
+	out := []NamedGraph{
+		{"figure2", Figure2()},
+		{"triangle", Triangle()},
+		{"two-cycle", TwoCycle()},
+		{"diamond", DiamondCycles()},
+		{"dag", DAG()},
+	}
+	for i, seed := range []int64{1, 2} {
+		out = append(out,
+			NamedGraph{fmt.Sprintf("dag-heavy-small-%d", i), DAGHeavy(60, 150, 2, seed)},
+			NamedGraph{fmt.Sprintf("dag-heavy-large-%d", i), DAGHeavy(300, 900, 5, 10+seed)},
+			NamedGraph{fmt.Sprintf("giant-scc-small-%d", i), GiantSCC(40, 120, 20+seed)},
+			NamedGraph{fmt.Sprintf("giant-scc-large-%d", i), GiantSCC(200, 700, 30+seed)},
+			NamedGraph{fmt.Sprintf("many-scc-small-%d", i), ManySmallSCC(6, 4, 10, 40+seed)},
+			NamedGraph{fmt.Sprintf("many-scc-large-%d", i), ManySmallSCC(25, 5, 60, 50+seed)},
+		)
+	}
+	return out
+}
