@@ -47,6 +47,7 @@ func main() {
 		mailbox  = flag.Int("mailbox", 4096, "update mailbox capacity (full = backpressure)")
 		snapshot = flag.Int("snapshot-every", 64, "batches between full snapshots (with -data)")
 		workers  = flag.Int("workers", 0, "build/warm parallelism (0 = all cores)")
+		updWork  = flag.Int("update-workers", 0, "batch-apply parallelism: per-shard update streams per batch (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		cyclehub.WithBatch(*maxBatch, *flushInt),
 		cyclehub.WithMailbox(*mailbox),
 		cyclehub.WithSnapshotEvery(*snapshot),
+		cyclehub.WithUpdateWorkers(*updWork),
 	}
 	if *topK > 0 {
 		opts = append(opts, cyclehub.WithTopK(*topK))

@@ -164,6 +164,39 @@ func (ix *Index) DeleteEdge(a, b int) error {
 	return err
 }
 
+// EdgeOp is one operation of a batch update: an insertion by default, a
+// deletion when Delete is set.
+type EdgeOp struct {
+	Delete bool
+	A, B   int
+}
+
+// ApplyBatch applies an ordered sequence of edge operations as one
+// maintenance unit, equivalent to (but usually much faster than) applying
+// them through InsertEdge/DeleteEdge one at a time: the default sharded
+// index groups the batch's ops by strongly connected component, computes
+// merge/split effects once for the whole batch, and applies independent
+// per-shard update streams on workers goroutines (0 = all cores, 1 =
+// sequential; answers are identical for every worker count). The batch
+// must be a valid sequence against the live graph — no duplicate inserts,
+// no missing deletes, net of earlier ops in the same batch — and an
+// invalid batch is rejected whole, with nothing applied.
+func (ix *Index) ApplyBatch(ops []EdgeOp, workers int) error {
+	batch := make([]csc.EdgeOp, len(ops))
+	for i, op := range ops {
+		if op.A < 0 || op.A > 1<<31-1 || op.B < 0 || op.B > 1<<31-1 {
+			return graph.ErrVertexRange
+		}
+		k := csc.OpInsert
+		if op.Delete {
+			k = csc.OpDelete
+		}
+		batch[i] = csc.EdgeOp{Kind: k, A: int32(op.A), B: int32(op.B)}
+	}
+	_, err := ix.x.ApplyBatch(batch, workers)
+	return err
+}
+
 // AddVertex grows the graph by one isolated vertex and returns its id.
 // Vertex ids are dense and never recycled.
 func (ix *Index) AddVertex() (int, error) { return ix.x.AddVertex() }
@@ -335,6 +368,15 @@ func WithSnapshotEvery(batches int) EngineOption {
 // mailbox applies backpressure: InsertEdge/DeleteEdge block.
 func WithMailbox(n int) EngineOption {
 	return func(c *engineConfig) { c.opts.MailboxSize = n }
+}
+
+// WithUpdateWorkers sets how many goroutines the writer uses to apply
+// each coalesced batch (0 = all cores, 1 = sequential). The default
+// sharded index plans every batch per strongly connected component and
+// applies independent per-shard update streams concurrently; answers are
+// identical for every worker count, so this is purely a throughput knob.
+func WithUpdateWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.opts.UpdateWorkers = n }
 }
 
 // NewEngine wraps an index in a serving engine and starts its writer.

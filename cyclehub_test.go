@@ -405,3 +405,63 @@ func TestEngineShardedMergeSplitRecovery(t *testing.T) {
 		t.Fatalf("after split: CycleCount(3) = %+v", r)
 	}
 }
+
+func TestApplyBatchFacade(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		idx := buildTriangle(t)
+		// One batch: flap the triangle edge (nets to nothing) and close
+		// the 4-cycle through vertex 3.
+		ops := []EdgeOp{
+			{Delete: true, A: 0, B: 1},
+			{A: 0, B: 1},
+			{A: 3, B: 0},
+		}
+		if err := idx.ApplyBatch(ops, workers); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if r := idx.CycleCount(3); !r.Exists || r.Length != 4 || r.Count != 1 {
+			t.Fatalf("workers %d: after batch: %+v", workers, r)
+		}
+		// An invalid batch is rejected whole: nothing applies.
+		err := idx.ApplyBatch([]EdgeOp{{A: 1, B: 3}, {A: 1, B: 3}}, workers)
+		if err == nil {
+			t.Fatalf("workers %d: duplicate insert accepted", workers)
+		}
+		if idx.Graph().HasEdge(1, 3) {
+			t.Fatalf("workers %d: rejected batch mutated the graph", workers)
+		}
+		if err := idx.ApplyBatch([]EdgeOp{{A: 0, B: -1}}, workers); err == nil {
+			t.Fatalf("workers %d: out-of-range vertex accepted", workers)
+		}
+	}
+}
+
+func TestEngineWithUpdateWorkers(t *testing.T) {
+	g, err := GraphFromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(BuildIndex(g), WithUpdateWorkers(4), WithBatch(64, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Touch both shards in one logical burst; answers must match the
+	// sequential semantics regardless of the worker pool.
+	for _, e := range [][2]int{{2, 3}, {5, 0}} {
+		if err := eng.InsertEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	if r := eng.CycleCount(0); !r.Exists || r.Length != 3 {
+		t.Fatalf("vertex 0 after merge: %+v", r)
+	}
+	if r := eng.CycleCount(3); !r.Exists {
+		t.Fatalf("vertex 3 after merge: %+v", r)
+	}
+	st := eng.Stats()
+	if st.OpsApplied == 0 || st.OpsRejected != 0 {
+		t.Fatalf("stats after batch: %+v", st)
+	}
+}

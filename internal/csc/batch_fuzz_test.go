@@ -1,0 +1,74 @@
+package csc
+
+import (
+	"testing"
+
+	"repro/internal/bfscount"
+	"repro/internal/graph"
+)
+
+// FuzzBatchUpdate drives interleaved insert/delete batches across
+// merge/split boundaries. The input encodes a sequence of batches —
+// a length byte followed by that many op bytes, each byte one endpoint
+// pair — and every op toggles its edge against a mirror graph, so any
+// byte string decodes into a valid batch sequence. After every batch the
+// sharded index must agree with the BFS oracle on every vertex, across a
+// rotating worker count, and the shard table must stay consistent.
+//
+// testdata/fuzz/FuzzBatchUpdate checks in the known-nasty seeds: an
+// insert closing a path back to its tail (cross-batch and within-batch
+// merges) and a delete splitting a giant SCC.
+func FuzzBatchUpdate(f *testing.F) {
+	// A 4-ring built in one batch: a within-batch merge.
+	f.Add([]byte{4, 0x01, 0x12, 0x23, 0x30})
+	// A path grown in one batch, closed back to its tail in the next.
+	f.Add([]byte{3, 0x01, 0x12, 0x23, 1, 0x30})
+	// A giant 8-ring, then a single delete that splits it.
+	f.Add([]byte{8, 0x01, 0x12, 0x23, 0x34, 0x45, 0x56, 0x67, 0x70, 1, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 12
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		x, _ := BuildSharded(graph.New(n), Options{})
+		mirror := graph.New(n)
+		for i, bi := 0, 0; i < len(data); bi++ {
+			batchLen := int(data[i]) % 13
+			i++
+			var batch []EdgeOp
+			for k := 0; k < batchLen && i < len(data); k++ {
+				b := data[i]
+				i++
+				u, v := int(b>>4)%n, int(b&0xf)%n
+				if u == v {
+					continue
+				}
+				if mirror.HasEdge(u, v) {
+					_ = mirror.RemoveEdge(u, v)
+					batch = append(batch, Del(u, v))
+				} else {
+					_ = mirror.AddEdge(u, v)
+					batch = append(batch, Ins(u, v))
+				}
+			}
+			workers := []int{1, 2, 4}[bi%3]
+			if _, err := x.ApplyBatch(batch, workers); err != nil {
+				t.Fatalf("batch %d (workers %d): %v", bi, workers, err)
+			}
+			if err := x.checkConsistent(); err != nil {
+				t.Fatalf("batch %d: %v", bi, err)
+			}
+			for v := 0; v < n; v++ {
+				sl, sc := x.CycleCount(v)
+				ol, oc := bfscount.CycleCount(mirror, v)
+				if sl != ol || sc != oc {
+					t.Fatalf("batch %d vertex %d: sharded (%d,%d) != oracle (%d,%d)", bi, v, sl, sc, ol, oc)
+				}
+			}
+		}
+		if !graph.Equal(x.Graph(), mirror) {
+			t.Fatal("index graph diverged from mirror")
+		}
+	})
+}

@@ -31,6 +31,21 @@ type Counter interface {
 	InsertEdge(a, b int) (pll.UpdateStats, error)
 	DeleteEdge(a, b int) (pll.UpdateStats, error)
 
+	// ApplyBatch applies an ordered sequence of edge operations as one
+	// maintenance unit, answering every query afterwards exactly as if
+	// they had gone through InsertEdge/DeleteEdge one at a time. The
+	// batch is first reduced to its net effect against the live graph
+	// (an insert+delete pair of the same edge cancels), so only the
+	// net ops are maintained and reflected in the stats. The batch must
+	// be a valid sequence against the live graph (no duplicate inserts,
+	// no missing deletes, net of earlier ops in the same batch); an
+	// invalid batch is rejected up front with nothing applied. The sharded index plans the batch per
+	// shard and applies independent shard streams on workers goroutines
+	// (0 = all cores, 1 = sequential); the monolithic index applies
+	// sequentially regardless. Stats are aggregated over the batch with
+	// TouchedOwners in the same Gb convention as InsertEdge.
+	ApplyBatch(batch []EdgeOp, workers int) (pll.UpdateStats, error)
+
 	// AddVertex appends one isolated vertex; DetachVertex removes every
 	// incident edge of v through maintained deletions.
 	AddVertex() (int, error)

@@ -44,6 +44,7 @@ type Sharded struct {
 	localID []int32 // vertex → id inside its shard's subgraph
 
 	merges, splits int // scoped-rebuild counters (diagnostics)
+	batchRebuilds  int // fresh component builds performed by ApplyBatch
 }
 
 // shard is one non-trivial SCC: its member vertices (sorted ascending —
@@ -254,15 +255,13 @@ func (x *Sharded) splitRebuild(s int32, start time.Time) pll.UpdateStats {
 	var st pll.UpdateStats
 	st.EntriesRemoved = old.idx.EntryCount()
 	x.retire(s)
-	// The global graph already dropped the edge, so the induced subgraph
-	// over the old member set is the post-delete component.
-	sub := partition.Induced(x.g, old.verts)
-	for _, comp := range partition.SCC(sub).NonTrivial() {
-		verts := make([]int32, len(comp))
-		for i, lv := range comp {
-			verts[i] = old.verts[lv]
+	// The global graph already dropped the edge, so the partition of the
+	// old member set within it is the post-delete decomposition.
+	for _, comp := range partition.SCCWithin(x.g, old.verts) {
+		if len(comp) < 2 {
+			continue
 		}
-		sh := buildShard(x.g, verts, x.opts)
+		sh := buildShard(x.g, comp, x.opts)
 		x.install(sh)
 		st.EntriesAdded += sh.idx.EntryCount()
 	}

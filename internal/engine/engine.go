@@ -80,6 +80,13 @@ type Options struct {
 	// Workers bounds the warm/rescore parallelism of WatchTopK (0 = all
 	// cores; always clamped to the vertex count).
 	Workers int
+	// UpdateWorkers bounds the batch-apply parallelism: each coalesced
+	// batch is handed to the index's ApplyBatch, which the sharded form
+	// plans per shard and applies as concurrent per-shard update streams
+	// (0 = all cores, 1 = sequential; the monolithic index is always
+	// sequential). Readers are unaffected either way — batches still
+	// apply inside the grace period.
+	UpdateWorkers int
 }
 
 func (o *Options) fill() {
@@ -563,39 +570,71 @@ func (e *Engine) coalesce() []Op {
 	return batch
 }
 
-// apply runs one batch inside the grace period and returns the sorted
-// original-graph vertices whose labels (or incident edges) it touched.
+// batchOps converts mailbox ops into the index's batch representation.
+func batchOps(batch []Op) []csc.EdgeOp {
+	ops := make([]csc.EdgeOp, len(batch))
+	for i, op := range batch {
+		k := csc.OpInsert
+		if op.Kind == OpDelete {
+			k = csc.OpDelete
+		}
+		ops[i] = csc.EdgeOp{Kind: k, A: op.A, B: op.B}
+	}
+	return ops
+}
+
+// apply runs one batch inside the grace period through the index's batch
+// planner — the sharded index applies independent per-shard update
+// streams on UpdateWorkers goroutines and computes merge/split effects
+// once for the whole batch — and returns the sorted original-graph
+// vertices whose labels (or incident edges) it touched.
 func (e *Engine) apply(batch []Op) []int {
 	touched := make(map[int]struct{}, 2*len(batch))
 	e.lock.lockAll()
-	for _, op := range batch {
-		a, b := int(op.A), int(op.B)
-		var st pll.UpdateStats
-		var err error
-		if op.Kind == OpInsert {
-			st, err = e.ix.InsertEdge(a, b)
-		} else {
-			st, err = e.ix.DeleteEdge(a, b)
-		}
-		if err != nil {
-			// Coalescing computed the batch against the live graph, so this
-			// is unreachable short of index corruption; count it and move on.
-			e.rejected.Add(1)
-			continue
-		}
-		touched[a] = struct{}{}
-		touched[b] = struct{}{}
-		for _, o := range st.TouchedOwners {
-			touched[bipartite.Original(int(o))] = struct{}{}
-		}
+	st, err := e.ix.ApplyBatch(batchOps(batch), e.opts.UpdateWorkers)
+	if err != nil {
+		// Coalescing computed the batch against the live graph, so a
+		// rejected batch is unreachable short of index corruption. Fall
+		// back to per-op application so one bad op cannot take the whole
+		// batch down with it.
+		st = e.applyPerOp(batch)
 	}
 	e.lock.unlockAll()
+	for _, op := range batch {
+		touched[int(op.A)] = struct{}{}
+		touched[int(op.B)] = struct{}{}
+	}
+	for _, o := range st.TouchedOwners {
+		touched[bipartite.Original(int(o))] = struct{}{}
+	}
 	out := make([]int, 0, len(touched))
 	for v := range touched {
 		out = append(out, v)
 	}
 	sort.Ints(out)
 	return out
+}
+
+// applyPerOp is the degraded path behind apply: one edge at a time,
+// counting (instead of propagating) individually rejected ops. The
+// caller marks every op's endpoints touched either way.
+func (e *Engine) applyPerOp(batch []Op) pll.UpdateStats {
+	var agg pll.UpdateStats
+	for _, op := range batch {
+		var st pll.UpdateStats
+		var err error
+		if op.Kind == OpInsert {
+			st, err = e.ix.InsertEdge(int(op.A), int(op.B))
+		} else {
+			st, err = e.ix.DeleteEdge(int(op.A), int(op.B))
+		}
+		if err != nil {
+			e.rejected.Add(1)
+			continue
+		}
+		agg.TouchedOwners = append(agg.TouchedOwners, st.TouchedOwners...)
+	}
+	return agg
 }
 
 // snapshotNow persists a snapshot at the current sequence number. It runs

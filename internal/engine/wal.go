@@ -240,19 +240,19 @@ func decodeRecord(data []byte) (rec walRecord, recLen int, ok bool) {
 }
 
 func applyRecord(ix csc.Counter, rec walRecord) error {
+	// An unknown kind byte must fail recovery as corruption — the batch
+	// conversion below would otherwise normalize it to an insert and
+	// replay silently wrong state.
 	for i, op := range rec.ops {
-		var err error
-		switch op.Kind {
-		case OpInsert:
-			_, err = ix.InsertEdge(int(op.A), int(op.B))
-		case OpDelete:
-			_, err = ix.DeleteEdge(int(op.A), int(op.B))
-		default:
-			err = fmt.Errorf("unknown op kind %d", op.Kind)
+		if op.Kind != OpInsert && op.Kind != OpDelete {
+			return fmt.Errorf("op %d (%d,%d): unknown op kind %d", i, op.A, op.B, op.Kind)
 		}
-		if err != nil {
-			return fmt.Errorf("op %d (%d,%d): %v", i, op.A, op.B, err)
-		}
+	}
+	// Replay goes through the same batch path live serving uses: every
+	// logged record was one applied batch, so it replays as one batch —
+	// sequentially here (recovery predates the engine's worker options).
+	if _, err := ix.ApplyBatch(batchOps(rec.ops), 1); err != nil {
+		return err
 	}
 	return nil
 }

@@ -304,3 +304,32 @@ func TestDecodeRecordBounds(t *testing.T) {
 		t.Fatal("absurd op count decoded")
 	}
 }
+
+// Replay must reject a WAL record holding an unknown op kind as
+// corruption instead of normalizing it into an insert — regression pin
+// for the batch-replay path, which converts ops before validation.
+func TestReplayRejectsUnknownOpKind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Recover(emptyIndex(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(1, []Op{{Kind: 7, A: 0, B: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, err := s2.Recover(emptyIndex(4)); err == nil {
+		t.Fatal("recovery accepted a WAL record with an unknown op kind")
+	} else if g := s2.Close(); g != nil && g != err {
+		t.Logf("close after failed recover: %v", g)
+	}
+}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
@@ -44,6 +45,11 @@ type BenchResult struct {
 	// build comparison (sharding.go). On those rows the standard
 	// build/size fields describe the sharded build.
 	Sharding *ShardingRow `json:"sharding,omitempty"`
+
+	// Update is set on the UPD-* rows the suite appends last: the
+	// end-to-end update-throughput comparison of per-edge sequential
+	// maintenance against the batch planner (updates.go).
+	Update *UpdateThroughputRow `json:"update,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -129,8 +135,10 @@ func Bench(s Scale, d Dataset) BenchResult {
 }
 
 // BenchSuite runs Bench over the given datasets, then appends one row per
-// condensation-sharding family (Sharding) so the mono-vs-sharded build
-// trajectory lands in the same BENCH_*.json artifact.
+// condensation-sharding family (Sharding) and one per update-throughput
+// point (Updates, the UPD-* rows) so the mono-vs-sharded build and the
+// batch-vs-sequential update trajectories land in the same BENCH_*.json
+// artifact.
 func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 	var out []BenchResult
 	for _, d := range ds {
@@ -149,6 +157,18 @@ func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 			Entries:     row.ShardedBytes / 8,
 			Bytes:       row.ShardedBytes,
 			Sharding:    &row,
+		})
+	}
+	for _, row := range Updates(s) {
+		row := row
+		out = append(out, BenchResult{
+			Dataset:    fmt.Sprintf("UPD-%s-b%d", row.Family, row.BatchSize),
+			Scale:      s.String(),
+			Workers:    Workers,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			N:          row.N,
+			M:          row.M,
+			Update:     &row,
 		})
 	}
 	return out

@@ -233,6 +233,56 @@ func TestBenchSuiteEmitsServePoints(t *testing.T) {
 	}
 }
 
+// TestUpdateThroughputExperiment is the batch-update acceptance gate: on
+// the many-small-SCC family at tiny scale, applying the batch-64 stream
+// through ApplyBatch must sustain at least 2x the updates/sec of per-edge
+// sequential maintenance, and every row of the sweep must be well-formed
+// (the UPD-* rows in BENCH_*.json come straight from these).
+func TestUpdateThroughputExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("update throughput experiment is not -short")
+	}
+	if raceEnabled {
+		// The race detector serializes goroutines and inflates every
+		// traversal unevenly; the ≥2x gate is a wall-clock ratio and
+		// only meaningful on an uninstrumented binary.
+		t.Skip("timing gate is not meaningful under -race")
+	}
+	rows := Updates(Tiny)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 2 families x 3 batch sizes", len(rows))
+	}
+	type key struct {
+		fam string
+		bs  int
+	}
+	byKey := map[key]UpdateThroughputRow{}
+	for _, r := range rows {
+		if r.N == 0 || r.Ops == 0 || r.SeqOpsPerSec <= 0 || r.BatchOpsPerSec <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		byKey[key{r.Family, r.BatchSize}] = r
+	}
+	for _, bs := range updateBatchSizes {
+		for _, fam := range []string{"many-small-scc", "giant-scc"} {
+			if _, ok := byKey[key{fam, bs}]; !ok {
+				t.Fatalf("missing row %s b%d", fam, bs)
+			}
+		}
+	}
+	headline := byKey[key{"many-small-scc", 64}]
+	if headline.Speedup < 2 {
+		t.Fatalf("many-small-scc batch-64 speedup %.2fx < 2x: %+v", headline.Speedup, headline)
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "many-small-scc") {
+		t.Fatal("table missing family name")
+	}
+}
+
 // The sharding experiment is the tentpole's acceptance gate: on the
 // DAG-heavy family the sharded build must be at least 2x faster and at
 // least 2x smaller than the monolithic one, and both numbers land in the

@@ -1,0 +1,267 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/csc"
+	"repro/internal/graph"
+	"repro/internal/testgraphs"
+)
+
+// UpdateThroughputRow is one (family, batch size) point of the
+// update-throughput experiment: the same op sequence applied once through
+// per-edge sequential maintenance (InsertEdge/DeleteEdge, the pre-batch
+// path) and once through the batch planner (ApplyBatch at the Workers
+// parallelism), reported as updates/sec. EXPERIMENTS.md documents the
+// protocol; the rows land in BENCH_*.json as UPD-* datasets.
+type UpdateThroughputRow struct {
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	BatchSize int    `json:"batch_size"`
+	// BatchOps is the largest batch actually applied: the requested
+	// BatchSize clamped by the family's intra-shard edge pools and the
+	// ops budget (giant-scc at b1024 genuinely runs smaller batches —
+	// read this field, not batch_size, when comparing scaling).
+	BatchOps       int     `json:"batch_ops"`
+	Workers        int     `json:"workers"`
+	Ops            int     `json:"ops"`
+	SeqNS          int64   `json:"seq_wall_ns"`
+	BatchNS        int64   `json:"batch_wall_ns"`
+	SeqOpsPerSec   float64 `json:"seq_ops_per_sec"`
+	BatchOpsPerSec float64 `json:"batch_ops_per_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// updateBatchSizes is the batch-size sweep every family is measured at.
+var updateBatchSizes = []int{1, 64, 1024}
+
+// updateFamily is one generated family of the update experiment. The
+// sizes are chosen so the largest batch still draws distinct edges: the
+// many-small-SCC family is the headline (every batch spreads over many
+// independent shards, so per-shard streams parallelize and per-edge
+// split/merge rebuilds coalesce away), the giant-SCC family the worst
+// case (one shard: the planner degrades to a sequential stream plus one
+// partition check per batch).
+type updateFamily struct {
+	name   string
+	budget int // ops per measured path at tiny scale
+	build  func(s Scale) *graph.Digraph
+}
+
+func updateFamilies() []updateFamily {
+	return []updateFamily{
+		{"many-small-scc", 2048, func(s Scale) *graph.Digraph {
+			switch s {
+			case Tiny:
+				return testgraphs.ManySmallSCC(200, 6, 400, 8)
+			case Small:
+				return testgraphs.ManySmallSCC(400, 6, 800, 8)
+			default:
+				return testgraphs.ManySmallSCC(800, 6, 1600, 8)
+			}
+		}},
+		{"giant-scc", 128, func(s Scale) *graph.Digraph {
+			switch s {
+			case Tiny:
+				return testgraphs.GiantSCC(500, 2000, 9)
+			case Small:
+				return testgraphs.GiantSCC(1500, 6000, 9)
+			default:
+				return testgraphs.GiantSCC(4000, 16000, 9)
+			}
+		}},
+	}
+}
+
+func updateOpsBudget(s Scale, fam updateFamily) int {
+	switch s {
+	case Tiny:
+		return fam.budget
+	case Small:
+		return 2 * fam.budget
+	default:
+		return 4 * fam.budget
+	}
+}
+
+// updateBatches builds the measured op sequence over random intra-shard
+// edges, mixing the two realistic shapes of a dynamic stream:
+//
+//   - waves: half of each batch deletes distinct edges that the *next*
+//     batch reinserts — durable changes that genuinely split and re-merge
+//     components, exercising the planner's once-per-batch partition
+//     reconciliation and scoped rebuilds;
+//   - flaps: the other half is insert+delete churn of the same edge
+//     inside one batch — transient changes the batch path coalesces away
+//     entirely, where per-edge application pays a split rebuild and a
+//     merge rebuild per flap.
+//
+// Wave and flap edges draw from disjoint pools so every batch is a valid
+// sequence, and the graph returns to its start state after every even
+// batch. Single-op batches degenerate to pure wave alternation. The
+// sequence is a pure function of the family and scale, so both measured
+// paths replay identical ops.
+func updateBatches(x *csc.Sharded, batchSize, budget int) [][]csc.EdgeOp {
+	g := x.Graph()
+	var intra [][2]int
+	for _, e := range g.Edges() {
+		if s := x.ShardOf(e[0]); s >= 0 && s == x.ShardOf(e[1]) {
+			intra = append(intra, e)
+		}
+	}
+	r := rand.New(rand.NewSource(23))
+	r.Shuffle(len(intra), func(i, j int) { intra[i], intra[j] = intra[j], intra[i] })
+	half := len(intra) / 2
+	if half == 0 {
+		return nil // no intra-shard edges to churn: nothing to measure
+	}
+	wavePool, flapPool := intra[:half], intra[half:]
+
+	// A quarter of each batch is durable wave ops, the rest transient
+	// flaps — the flap-heavy mix of a monitoring stream, where most churn
+	// cancels within one batch window.
+	wv := batchSize / 4
+	if wv > len(wavePool) {
+		wv = len(wavePool) // a wave needs distinct edges
+	}
+	if wv > budget/2 {
+		wv = budget / 2 // keep the total op count near the budget
+	}
+	if wv < 1 {
+		wv = 1 // wavePool is non-empty, so one wave edge always exists
+	}
+	fp := (batchSize - wv) / 2
+	if fp > len(flapPool) {
+		fp = len(flapPool)
+	}
+	if lim := (budget/2 - wv) / 2; fp > lim {
+		fp = lim // a single batch must not blow through the ops budget
+	}
+	if fp < 0 {
+		fp = 0
+	}
+
+	wi, fi := 0, 0
+	flaps := func(batch []csc.EdgeOp) []csc.EdgeOp {
+		for k := 0; k < fp; k++ {
+			e := flapPool[fi%len(flapPool)]
+			fi++
+			batch = append(batch, csc.Del(e[0], e[1]), csc.Ins(e[0], e[1]))
+		}
+		return batch
+	}
+	var batches [][]csc.EdgeOp
+	for ops := 0; ops < budget; ops += 2 * (wv + 2*fp) {
+		del := make([]csc.EdgeOp, 0, wv+2*fp)
+		ins := make([]csc.EdgeOp, 0, wv+2*fp)
+		for k := 0; k < wv; k++ {
+			e := wavePool[wi%len(wavePool)]
+			wi++
+			del = append(del, csc.Del(e[0], e[1]))
+			ins = append(ins, csc.Ins(e[0], e[1]))
+		}
+		batches = append(batches, flaps(del), flaps(ins))
+	}
+	return batches
+}
+
+// Updates runs the update-throughput experiment: for every family and
+// batch size, the same edge-op sequence is applied through per-edge
+// sequential maintenance and through ApplyBatch at the Workers
+// parallelism, on separately built indexes over the same graph. Both
+// paths are cross-checked against each other on every vertex afterwards.
+func Updates(s Scale) []UpdateThroughputRow {
+	var rows []UpdateThroughputRow
+	for _, fam := range updateFamilies() {
+		g := fam.build(s)
+		budget := updateOpsBudget(s, fam)
+		for _, bs := range updateBatchSizes {
+			seqIdx, _ := csc.BuildSharded(g.Clone(), csc.Options{Workers: Workers})
+			batchIdx, _ := csc.BuildSharded(g.Clone(), csc.Options{Workers: Workers})
+			batches := updateBatches(seqIdx, bs, budget)
+			ops, batchOps := 0, 0
+			for _, b := range batches {
+				ops += len(b)
+				if len(b) > batchOps {
+					batchOps = len(b)
+				}
+			}
+
+			t0 := time.Now()
+			for _, batch := range batches {
+				for _, op := range batch {
+					var err error
+					if op.Kind == csc.OpInsert {
+						_, err = seqIdx.InsertEdge(int(op.A), int(op.B))
+					} else {
+						_, err = seqIdx.DeleteEdge(int(op.A), int(op.B))
+					}
+					if err != nil {
+						panic(err) // ops were derived from the live graph
+					}
+				}
+			}
+			seqWall := time.Since(t0)
+
+			t1 := time.Now()
+			for _, batch := range batches {
+				if _, err := batchIdx.ApplyBatch(batch, Workers); err != nil {
+					panic(err)
+				}
+			}
+			batchWall := time.Since(t1)
+
+			// Both paths applied a net-zero sequence over the same start
+			// graph: they must agree everywhere.
+			sl, sc := seqIdx.CycleCountAll(Workers)
+			bl, bc := batchIdx.CycleCountAll(Workers)
+			for v := range sl {
+				if sl[v] != bl[v] || sc[v] != bc[v] {
+					panic(fmt.Sprintf("exp: updates %s b%d: vertex %d seq (%d,%d) != batch (%d,%d)",
+						fam.name, bs, v, sl[v], sc[v], bl[v], bc[v]))
+				}
+			}
+
+			row := UpdateThroughputRow{
+				Family:    fam.name,
+				N:         g.NumVertices(),
+				M:         g.NumEdges(),
+				BatchSize: bs,
+				BatchOps:  batchOps,
+				Workers:   Workers,
+				Ops:       ops,
+				SeqNS:     seqWall.Nanoseconds(),
+				BatchNS:   batchWall.Nanoseconds(),
+			}
+			if seqWall > 0 {
+				row.SeqOpsPerSec = float64(ops) / seqWall.Seconds()
+			}
+			if batchWall > 0 {
+				row.BatchOpsPerSec = float64(ops) / batchWall.Seconds()
+				row.Speedup = float64(seqWall) / float64(batchWall)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// WriteUpdates renders the update-throughput experiment as a prose table.
+func WriteUpdates(w io.Writer, rows []UpdateThroughputRow) error {
+	if _, err := fmt.Fprintf(w, "%-15s %8s %8s %6s %6s %6s | %12s %12s %8s\n",
+		"family", "n", "m", "batch", "actual", "ops", "seq-ops/s", "batch-ops/s", "speedup"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-15s %8d %8d %6d %6d %6d | %12.0f %12.0f %7.1fx\n",
+			r.Family, r.N, r.M, r.BatchSize, r.BatchOps, r.Ops,
+			r.SeqOpsPerSec, r.BatchOpsPerSec, r.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}

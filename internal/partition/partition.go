@@ -133,6 +133,98 @@ func (p *Partition) NonTrivial() [][]int32 {
 	return out
 }
 
+// SCCWithin computes the strongly connected components of the subgraph of
+// g induced by verts, without materializing the subgraph. Components come
+// back in global vertex ids under the same stable numbering as SCC:
+// members sorted ascending, components ordered by smallest member. The
+// batch update planner uses it to re-check one dirty shard's partition
+// after a batch of deletions instead of re-running Tarjan over the whole
+// graph.
+func SCCWithin(g *graph.Digraph, verts []int32) [][]int32 {
+	n := len(verts)
+	local := make(map[int32]int32, n)
+	for li, v := range verts {
+		local[v] = int32(li)
+	}
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for v := range index {
+		index[v] = unvisited
+	}
+	stack := make([]int32, 0, n)
+	var next int32
+
+	type frame struct {
+		v    int32 // local id
+		edge int32
+	}
+	var frames []frame
+	var raw [][]int32
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: int32(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			out := g.Out(int(verts[v]))
+			if int(f.edge) < len(out) {
+				gw := out[f.edge]
+				f.edge++
+				w, ok := local[gw]
+				if !ok {
+					continue // edge leaves the induced vertex set
+				}
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := frames[len(frames)-1].v; low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var members []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, verts[w]) // back to global ids
+					if w == v {
+						break
+					}
+				}
+				raw = append(raw, members)
+			}
+		}
+	}
+
+	for _, members := range raw {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i][0] < raw[j][0] })
+	return raw
+}
+
 // Induced builds the subgraph of g induced by verts, with local ids
 // assigned by position in verts. Edges leaving the vertex set are
 // dropped — exactly the cross-component edges the sharded index keeps

@@ -165,3 +165,55 @@ func TestComponentOf(t *testing.T) {
 		t.Fatalf("ComponentOf(5) = %v", solo)
 	}
 }
+
+func TestSCCWithinMatchesInducedSCC(t *testing.T) {
+	// SCCWithin must equal SCC over the materialized induced subgraph
+	// (translated back to global ids) for random graphs and subsets.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(30)
+		g := graph.New(n)
+		for k := 0; k < 3*n; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				_ = g.AddEdge(u, v)
+			}
+		}
+		var verts []int32
+		for v := 0; v < n; v++ {
+			if r.Intn(3) > 0 {
+				verts = append(verts, int32(v))
+			}
+		}
+		got := SCCWithin(g, verts)
+
+		sub := Induced(g, verts)
+		var want [][]int32
+		for _, comp := range SCC(sub).Comps {
+			global := make([]int32, len(comp))
+			for i, lv := range comp {
+				global[i] = verts[lv]
+			}
+			sort.Slice(global, func(i, j int) bool { return global[i] < global[j] })
+			want = append(want, global)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i][0] < want[j][0] })
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d comps, want %d", trial, len(got), len(want))
+		}
+		for c := range want {
+			if len(got[c]) != len(want[c]) {
+				t.Fatalf("trial %d comp %d: %v, want %v", trial, c, got[c], want[c])
+			}
+			for i := range want[c] {
+				if got[c][i] != want[c][i] {
+					t.Fatalf("trial %d comp %d: %v, want %v", trial, c, got[c], want[c])
+				}
+			}
+		}
+	}
+	if comps := SCCWithin(graph.New(3), nil); len(comps) != 0 {
+		t.Fatalf("empty vertex set produced %v", comps)
+	}
+}

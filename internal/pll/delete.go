@@ -32,7 +32,7 @@ func (idx *Index) DeleteEdge(a, b int) (UpdateStats, error) {
 	if !idx.G.HasEdge(a, b) {
 		return st, idx.G.RemoveEdge(a, b) // yields the canonical error
 	}
-	idx.ensureScratch()
+	idx.scratch()
 
 	distToA := idx.bfsDistances(a, false)
 	distToB := idx.bfsDistances(b, false)
@@ -195,7 +195,7 @@ func (idx *Index) bfsDistances(src int, forward bool) []int32 {
 // mid-pass (the BFS never revisits the hub and repair never cleans).
 func (idx *Index) repairPass(vkRank int, forward bool, targets []bool, st *UpdateStats) {
 	vk := idx.Ord.VertexAt(vkRank)
-	s := idx.scr
+	s := idx.scratch()
 
 	var anchor *label.List
 	if forward {

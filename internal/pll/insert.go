@@ -19,7 +19,7 @@ func (idx *Index) InsertEdge(a, b int) (UpdateStats, error) {
 	if err := idx.G.AddEdge(a, b); err != nil {
 		return st, err
 	}
-	idx.ensureScratch()
+	idx.scratch()
 
 	// Affected hubs and their seed (distance, count), captured up front.
 	// Inserting (a,b) cannot shorten paths *into* a nor *out of* b (such a
@@ -76,7 +76,7 @@ func (idx *Index) InsertEdge(a, b int) (UpdateStats, error) {
 // the pass runs, so the test falls back to the live merge-join.
 func (idx *Index) updatePass(vkRank, start, d0 int, c0 uint64, forward bool, st *UpdateStats) {
 	vk := idx.Ord.VertexAt(vkRank)
-	s := idx.scr
+	s := idx.scratch()
 
 	var anchor *label.List
 	if idx.Strategy == Redundancy {

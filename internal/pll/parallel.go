@@ -54,21 +54,27 @@ func (idx *Index) RunConstruction(sch Scheme, workers int) {
 	}
 	n := idx.Ord.Len()
 	var st Stage
+	scr := idx.scratch()
 	if workers <= 1 || n <= seqPrefixRanks {
 		for r := 0; r < n; r++ {
-			idx.buildRank(sch, r, &st)
+			idx.buildRank(sch, r, scr, &st)
 		}
 		return
 	}
 
 	for r := 0; r < seqPrefixRanks; r++ {
-		idx.buildRank(sch, r, &st)
+		idx.buildRank(sch, r, scr, &st)
 	}
 
 	scratches := make([]*Scratch, workers)
 	for i := range scratches {
-		scratches[i] = NewScratch(n)
+		scratches[i] = GetScratch(n)
 	}
+	defer func() {
+		for _, s := range scratches {
+			PutScratch(s)
+		}
+	}()
 	var stages []Stage
 
 	lo, batch := seqPrefixRanks, workers
@@ -117,13 +123,13 @@ func (idx *Index) RunConstruction(sch Scheme, workers int) {
 			}
 			for pass := 0; pass < hubPasses; pass++ {
 				spec := &stages[(r-lo)*hubPasses+pass]
-				if idx.validateCommit(sch.Anchor(r, pass), spec, idx.scr) {
+				if idx.validateCommit(sch.Anchor(r, pass), spec, scr) {
 					continue
 				}
 				// An in-batch label invalidated the speculation: rebuild
 				// this pass against the merged (exact) label state.
 				idx.reruns++
-				sch.RunPass(r, pass, idx.scr, spec)
+				sch.RunPass(r, pass, scr, spec)
 				idx.commitTrusted(spec)
 			}
 		}
@@ -137,13 +143,13 @@ func (idx *Index) RunConstruction(sch Scheme, workers int) {
 
 // buildRank processes one rank sequentially: self labels for non-hubs,
 // both passes (staged against live labels, then committed) for hubs.
-func (idx *Index) buildRank(sch Scheme, r int, st *Stage) {
+func (idx *Index) buildRank(sch Scheme, r int, scr *Scratch, st *Stage) {
 	if !sch.IsHub(r) {
 		sch.SelfLabels(r)
 		return
 	}
 	for pass := 0; pass < hubPasses; pass++ {
-		sch.RunPass(r, pass, idx.scr, st)
+		sch.RunPass(r, pass, scr, st)
 		idx.commitTrusted(st)
 	}
 }

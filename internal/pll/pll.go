@@ -145,7 +145,9 @@ type Index struct {
 	reruns int
 
 	// scr is the engine-owned scratch for sequential construction and the
-	// dynamic update passes.
+	// dynamic update passes. It is pooled and lazily materialized (see
+	// scratch), so idle indexes — deserialized shards, shards between
+	// update batches — pin no scratch memory.
 	scr *Scratch
 }
 
@@ -158,7 +160,6 @@ func NewEmpty(g *graph.Digraph, ord *order.Order) *Index {
 		Ord: ord,
 		In:  make([]label.List, n),
 		Out: make([]label.List, n),
-		scr: NewScratch(n),
 	}
 }
 
@@ -368,12 +369,29 @@ func (idx *Index) neighbors(w int, forward bool) []int32 {
 	return idx.G.In(w)
 }
 
-// ensureScratch re-sizes the scratch arrays after the graph grew. Every
-// vertex-growth and update entry point must call it before running a
-// pass: the update BFSes index Dist/Cnt by vertex id and the hub scatter
-// by rank.
-func (idx *Index) ensureScratch() {
-	idx.scr.Grow(idx.G.NumVertices())
+// scratch returns the index's working scratch, materializing it from the
+// pool on first use and re-sizing it after the graph grew. Every
+// vertex-growth, construction and update entry point must go through it
+// before running a pass: the BFSes index Dist/Cnt by vertex id and the
+// hub scatter by rank, so a stale size turns the first post-growth pass
+// into an out-of-bounds access.
+func (idx *Index) scratch() *Scratch {
+	if idx.scr == nil {
+		idx.scr = GetScratch(idx.G.NumVertices())
+	} else {
+		idx.scr.Grow(idx.G.NumVertices())
+	}
+	return idx.scr
+}
+
+// ReleaseScratch returns the index's scratch to the shared pool. Call it
+// when no update is imminent — after a scoped shard rebuild, or at the
+// end of a batch's per-shard update stream — so concurrent streams over
+// many shards recycle a few scratches instead of pinning one per shard.
+// The next update materializes a fresh one transparently.
+func (idx *Index) ReleaseScratch() {
+	PutScratch(idx.scr)
+	idx.scr = nil
 }
 
 // FreezeArena packs all label lists into one contiguous CSR arena

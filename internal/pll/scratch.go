@@ -1,6 +1,8 @@
 package pll
 
 import (
+	"sync"
+
 	"repro/internal/bitpack"
 	"repro/internal/label"
 )
@@ -36,6 +38,31 @@ func NewScratch(n int) *Scratch {
 	s := &Scratch{}
 	s.Grow(n)
 	return s
+}
+
+// scratchPool recycles Scratch allocations across indexes. With the
+// SCC-sharded index, every shard is its own Index and batch-parallel
+// updates run many per-shard streams and scoped rebuilds concurrently:
+// pooling lets those streams share a handful of scratches (Grow only ever
+// appends, so a scratch sized for one shard upgrades in place for a
+// bigger one) instead of every shard pinning its own arrays for life.
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// GetScratch returns a pooled scratch grown for n vertices/ranks. The
+// caller owns it exclusively until PutScratch.
+func GetScratch(n int) *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.Grow(n)
+	return s
+}
+
+// PutScratch returns a scratch to the pool. The scratch must be clean —
+// every Visit reset, every Scatter unscattered — which is the state every
+// construction and update pass leaves it in.
+func PutScratch(s *Scratch) {
+	if s != nil {
+		scratchPool.Put(s)
+	}
 }
 
 // Grow re-sizes every scratch array for n vertices/ranks, preserving the

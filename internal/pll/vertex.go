@@ -32,7 +32,7 @@ func (idx *Index) AddVertex() (int, error) {
 	idx.canonical += 2
 	// Grow the scratch before any update pass can run: the update BFSes
 	// index Dist/Cnt by the new vertex id and the hub scatter by its rank.
-	idx.ensureScratch()
+	idx.scratch()
 	return v, nil
 }
 
