@@ -8,6 +8,7 @@
 //	cscd -addr :8337 -data /var/lib/cscd -graph net.txt -k 10
 //
 //	curl localhost:8337/cycle/42
+//	curl localhost:8337/cycle/42?maxlen=4
 //	curl localhost:8337/top
 //	curl -X POST   localhost:8337/edges?flush=1 -d '{"edges":[[1,2],[2,1]]}'
 //	curl -X DELETE localhost:8337/edges -d '{"edges":[[1,2]]}'
@@ -48,6 +49,7 @@ func main() {
 		snapshot = flag.Int("snapshot-every", 64, "batches between full snapshots (with -data)")
 		workers  = flag.Int("workers", 0, "build/warm parallelism (0 = all cores)")
 		updWork  = flag.Int("update-workers", 0, "batch-apply parallelism: per-shard update streams per batch (0 = all cores, 1 = sequential)")
+		noCache  = flag.Bool("no-read-cache", false, "disable the per-vertex result cache (every /cycle read re-joins labels)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,9 @@ func main() {
 	}
 	if *topK > 0 {
 		opts = append(opts, cyclehub.WithTopK(*topK))
+	}
+	if *noCache {
+		opts = append(opts, cyclehub.WithoutReadCache())
 	}
 
 	var (

@@ -152,6 +152,19 @@ func (ix *Index) CycleCount(v int) CycleResult {
 	return CycleResult{Exists: true, Length: l, Count: c}
 }
 
+// CycleCountBounded answers SCCnt(v) only when the shortest cycles
+// through v have length ≤ maxLen, and reports no cycle otherwise. The
+// bounded join kernel skips all counting work for cycles past the bound,
+// so screening queries ("is v on a short feedback loop?") cost less than
+// a full CycleCount.
+func (ix *Index) CycleCountBounded(v, maxLen int) CycleResult {
+	l, c := ix.x.CycleCountBounded(v, maxLen)
+	if l == bfscount.NoCycle {
+		return CycleResult{}
+	}
+	return CycleResult{Exists: true, Length: l, Count: c}
+}
+
 // InsertEdge adds edge (a,b) to the graph and maintains the index.
 func (ix *Index) InsertEdge(a, b int) error {
 	_, err := ix.x.InsertEdge(a, b)
@@ -370,6 +383,15 @@ func WithMailbox(n int) EngineOption {
 	return func(c *engineConfig) { c.opts.MailboxSize = n }
 }
 
+// WithoutReadCache disables the engine's per-vertex result cache, so
+// every CycleCount re-joins the label lists. Answers are identical
+// either way; the knob exists for benchmark ablations and to trade the
+// cache's 24 bytes per vertex for recomputation on memory-starved
+// deployments.
+func WithoutReadCache() EngineOption {
+	return func(c *engineConfig) { c.opts.NoCache = true }
+}
+
 // WithUpdateWorkers sets how many goroutines the writer uses to apply
 // each coalesced batch (0 = all cores, 1 = sequential). The default
 // sharded index plans every batch per strongly connected component and
@@ -429,9 +451,23 @@ func buildEngine(bootstrap func() (*Index, error), options []EngineOption) (*Eng
 }
 
 // CycleCount answers SCCnt(v) concurrently with updates. Out-of-range
-// vertices report no cycle.
+// vertices report no cycle. Repeat reads of a vertex no batch has
+// touched since are O(1): they come from the engine's epoch-tagged
+// result cache, which batch commits expire for exactly the vertices
+// whose labels changed.
 func (e *Engine) CycleCount(v int) CycleResult {
 	l, c := e.e.CycleCount(v)
+	if l == bfscount.NoCycle {
+		return CycleResult{}
+	}
+	return CycleResult{Exists: true, Length: l, Count: c}
+}
+
+// CycleCountBounded is CycleCount restricted to cycle lengths ≤ maxLen
+// (the /cycle/{v}?maxlen=L query), served from the cache on a hit and
+// by the bounded join kernel on a miss.
+func (e *Engine) CycleCountBounded(v, maxLen int) CycleResult {
+	l, c := e.e.CycleCountBounded(v, maxLen)
 	if l == bfscount.NoCycle {
 		return CycleResult{}
 	}
@@ -494,12 +530,13 @@ type EngineStats struct {
 	// Vertices and Edges describe the served graph; Entries and
 	// LabelBytes the label footprint.
 	Vertices, Edges, Entries, LabelBytes int
-	// Queries counts CycleCount calls; OpsEnqueued/Applied/Coalesced/
-	// Rejected track the mailbox; Batches and Seq count applied batches;
-	// Snapshots and WALBytes describe the store.
-	Queries, OpsEnqueued, OpsApplied, OpsCoalesced, OpsRejected uint64
-	Batches, Seq, Snapshots                                     uint64
-	WALBytes                                                    int64
+	// Queries counts CycleCount calls and CacheHits how many were served
+	// from the result cache without a label join; OpsEnqueued/Applied/
+	// Coalesced/Rejected track the mailbox; Batches and Seq count applied
+	// batches; Snapshots and WALBytes describe the store.
+	Queries, CacheHits, OpsEnqueued, OpsApplied, OpsCoalesced, OpsRejected uint64
+	Batches, Seq, Snapshots                                                uint64
+	WALBytes                                                               int64
 }
 
 // Stats snapshots the engine counters; safe concurrently with updates.
@@ -507,7 +544,7 @@ func (e *Engine) Stats() EngineStats {
 	s := e.e.Stats()
 	return EngineStats{
 		Vertices: s.Vertices, Edges: s.Edges, Entries: s.Entries, LabelBytes: s.LabelBytes,
-		Queries: s.Queries, OpsEnqueued: s.OpsEnqueued, OpsApplied: s.OpsApplied,
+		Queries: s.Queries, CacheHits: s.CacheHits, OpsEnqueued: s.OpsEnqueued, OpsApplied: s.OpsApplied,
 		OpsCoalesced: s.OpsCoalesced, OpsRejected: s.OpsRejected,
 		Batches: s.Batches, Seq: s.Seq, Snapshots: s.Snapshots, WALBytes: s.WALBytes,
 	}

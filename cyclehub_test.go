@@ -2,6 +2,7 @@ package cyclehub
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -253,6 +254,59 @@ func TestEngineFacade(t *testing.T) {
 	e.Flush()
 	if r := e.CycleCount(0); r.Exists {
 		t.Fatalf("cycle should be broken: %+v", r)
+	}
+}
+
+// The read-path facade: bounded queries screen by length, repeat reads
+// hit the result cache, and WithoutReadCache turns it off.
+func TestEngineReadPathFacade(t *testing.T) {
+	build := func() *Index {
+		g, _ := GraphFromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+		return BuildIndex(g)
+	}
+	e, err := NewEngine(build(), WithBatch(8, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if r := e.CycleCountBounded(0, 2); r.Exists {
+		t.Fatalf("maxlen=2 should screen the triangle: %+v", r)
+	}
+	if r := e.CycleCountBounded(0, 3); !r.Exists || r.Length != 3 || r.Count != 1 {
+		t.Fatalf("maxlen=3 = %+v", r)
+	}
+	e.CycleCount(1)
+	e.CycleCount(1)
+	if st := e.Stats(); st.CacheHits == 0 {
+		t.Fatalf("repeat read never hit the cache: %+v", st)
+	}
+
+	nc, err := NewEngine(build(), WithoutReadCache(), WithBatch(8, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.CycleCount(1)
+	if r := nc.CycleCount(1); !r.Exists || r.Length != 3 {
+		t.Fatalf("uncached read = %+v", r)
+	}
+	if st := nc.Stats(); st.CacheHits != 0 {
+		t.Fatalf("WithoutReadCache still hit: %+v", st)
+	}
+
+	idx := build()
+	if r := idx.CycleCountBounded(0, 2); r.Exists {
+		t.Fatalf("index maxlen=2 should screen the triangle: %+v", r)
+	}
+	if r := idx.CycleCountBounded(0, 3); !r.Exists || r.Length != 3 {
+		t.Fatalf("index maxlen=3 = %+v", r)
+	}
+	// A huge client-supplied bound must behave as unbounded, not wrap
+	// negative through the 2L-1 distance mapping.
+	for _, bound := range []int{1<<62 + 1, math.MaxInt} {
+		if r := idx.CycleCountBounded(0, bound); !r.Exists || r.Length != 3 || r.Count != 1 {
+			t.Fatalf("index maxlen=%d = %+v, want the triangle", bound, r)
+		}
 	}
 }
 

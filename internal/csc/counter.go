@@ -20,6 +20,11 @@ type Counter interface {
 	// CycleCount answers SCCnt(v): shortest cycle length through v
 	// (bfscount.NoCycle when none) and the number of such cycles.
 	CycleCount(v int) (length int, count uint64)
+	// CycleCountBounded is CycleCount restricted to cycle lengths ≤
+	// maxLen, answered through the bounded join kernel: it reports
+	// (bfscount.NoCycle, 0) when the shortest cycles are longer, without
+	// paying count arithmetic for over-bound hub pairs.
+	CycleCountBounded(v, maxLen int) (length int, count uint64)
 	// CycleCountAll evaluates SCCnt for every vertex with the given
 	// parallelism (0 = all cores, clamped to the vertex count).
 	CycleCountAll(workers int) (lengths []int, counts []uint64)
@@ -27,7 +32,13 @@ type Counter interface {
 	// InsertEdge and DeleteEdge apply a maintained edge update. The
 	// returned stats' TouchedOwners are Gb vertices of the *original*
 	// graph's conversion (bipartite.Original maps them back), whichever
-	// implementation produced them.
+	// implementation produced them. TouchedOwners is the exact dirty
+	// surface of every update path — INCCNT, decremental repair, scoped
+	// and batch rebuilds: SCCnt answers are a pure function of the
+	// labels, so any vertex whose answer an update changed appears in
+	// it (DirtyVertices maps the owners to original-graph vertices).
+	// Read-path caches and the top-k monitor invalidate exactly that
+	// set.
 	InsertEdge(a, b int) (pll.UpdateStats, error)
 	DeleteEdge(a, b int) (pll.UpdateStats, error)
 

@@ -232,6 +232,29 @@ func (x *Index) CycleCount(v int) (length int, count uint64) {
 	return bipartite.CycleLength(d), c
 }
 
+// CycleCountBounded is CycleCount restricted to cycle lengths ≤ maxLen:
+// it answers exactly like CycleCount when the shortest cycles through v
+// are that short, and (bfscount.NoCycle, 0) otherwise, via the bounded
+// join kernel (over-bound hub pairs never enter the count arithmetic). A
+// cycle of length L is a Gb path of length 2L-1.
+func (x *Index) CycleCountBounded(v, maxLen int) (length int, count uint64) {
+	if maxLen < 2 { // no directed cycle is shorter than 2
+		return bfscount.NoCycle, 0
+	}
+	// Any representable Gb distance is < bitpack.MaxDist (the unreachable
+	// sentinel), so bounds at or past it are effectively unbounded — and
+	// clamping keeps a huge client-supplied maxLen from overflowing the
+	// 2L-1 mapping into a negative bound.
+	if maxLen > (bitpack.MaxDist+1)/2 {
+		maxLen = (bitpack.MaxDist + 1) / 2
+	}
+	d, c := x.eng.CountPathsBounded(bipartite.OutVertex(v), bipartite.InVertex(v), 2*maxLen-1)
+	if d == pll.Unreachable {
+		return bfscount.NoCycle, 0
+	}
+	return bipartite.CycleLength(d), c
+}
+
 // InsertEdge applies an edge insertion on the original graph and maintains
 // the Gb labeling with INCCNT.
 func (x *Index) InsertEdge(a, b int) (pll.UpdateStats, error) {

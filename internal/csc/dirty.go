@@ -1,0 +1,40 @@
+package csc
+
+import (
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/pll"
+)
+
+// DirtyVertices maps an update's touched label owners (Gb vertices, the
+// convention every Counter update method reports) to the sorted,
+// deduplicated original-graph vertices whose SCCnt answer the update may
+// have changed — the dirty set.
+//
+// The set is exact in the direction read-path caches need: SCCnt(v) is a
+// pure function of Lout(v_out) and Lin(v_in), every label mutation is
+// recorded against its owner, and rebuilt components are marked wholly
+// touched — so a vertex absent from the dirty set answers exactly what
+// it answered before the update. (The converse is deliberately loose: a
+// label entry can be rewritten with its old value, or mutated on the
+// side a query does not read, without changing any answer.) The
+// dirty-set-exactness suite in dirty_test.go verifies the containment
+// against a fresh-index oracle over the whole corpus.
+func DirtyVertices(st pll.UpdateStats) []int {
+	if len(st.TouchedOwners) == 0 {
+		return nil
+	}
+	seen := make(map[int]struct{}, len(st.TouchedOwners))
+	out := make([]int, 0, len(st.TouchedOwners))
+	for _, o := range st.TouchedOwners {
+		v := bipartite.Original(int(o))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -162,6 +162,20 @@ func (x *Sharded) CycleCount(v int) (length int, count uint64) {
 	return x.shards[s].idx.CycleCount(int(x.localID[v]))
 }
 
+// CycleCountBounded is CycleCount restricted to cycle lengths ≤ maxLen
+// (same contract as Index.CycleCountBounded). Trivial-component vertices
+// short-circuit without touching any labels.
+func (x *Sharded) CycleCountBounded(v, maxLen int) (length int, count uint64) {
+	if v < 0 || v >= len(x.shardOf) {
+		return bfscount.NoCycle, 0
+	}
+	s := x.shardOf[v]
+	if s < 0 {
+		return bfscount.NoCycle, 0
+	}
+	return x.shards[s].idx.CycleCountBounded(int(x.localID[v]), maxLen)
+}
+
 // CycleCountAll evaluates SCCnt for every vertex (same contract as
 // Index.CycleCountAll: workers 0 = all cores, clamped to the vertex
 // count; read-only, so safe without concurrent updates).

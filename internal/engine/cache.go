@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bfscount"
+	"repro/internal/bitpack"
+)
+
+// readCache is the engine's epoch-tagged per-vertex cycle-count cache:
+// one packed (length, count) slot and one fill-epoch word per vertex,
+// plus a per-vertex dirty epoch the writer bumps at batch commit. A
+// cached answer serves a /cycle read in O(1) — no label join at all —
+// and stays valid until a batch dirties exactly that vertex.
+//
+// Concurrency protocol (the correctness argument, not just a lock list):
+//
+//   - Readers call get/put only while holding their vertex's stripe
+//     read-lock. A fill's value is therefore computed and stored inside
+//     one reader epoch, during which no batch can apply — a stored value
+//     is always current as of the last applied batch, never a stale
+//     value stored late.
+//   - The writer bumps dirtyAt under the full grace period (every stripe
+//     write-locked), so readers observe it with the stripe lock's
+//     happens-before edge; no atomics needed on dirtyAt.
+//   - A slot hits when its fill epoch postdates the vertex's dirty
+//     epoch. Invalidation is one plain word write per dirty vertex —
+//     the value slot itself is never cleared, its epoch just expires.
+//   - Concurrent fills of the same vertex race only against fills of
+//     the same epoch interval, which all carry identical values (the
+//     answer is a pure function of the labels, and labels only change
+//     under the grace period); the atomics are for the race detector
+//     and torn-word safety, not for ordering between different values.
+//
+// Epochs are engine batch sequence numbers, full 64-bit — no wrap.
+type readCache struct {
+	// fillAt[v] = seq+1 of the last applied batch at fill time; 0 =
+	// never filled.
+	fillAt []atomic.Uint64
+	// val[v] = packed (length+1)<<24 | count; length+1 == 0 encodes "no
+	// cycle". Lengths are at most (bitpack.MaxDist+1)/2 and counts at
+	// most bitpack.MaxCount, so the pair fits comfortably under 64 bits.
+	val []atomic.Uint64
+	// dirtyAt[v] = sequence number of the last batch that dirtied v.
+	// Writer-owned: written only under the grace period.
+	dirtyAt []uint64
+}
+
+func newReadCache(n int) *readCache {
+	return &readCache{
+		fillAt:  make([]atomic.Uint64, n),
+		val:     make([]atomic.Uint64, n),
+		dirtyAt: make([]uint64, n),
+	}
+}
+
+// get returns the cached answer for v, valid only while the caller holds
+// v's stripe read-lock.
+func (c *readCache) get(v int) (length int, count uint64, ok bool) {
+	f := c.fillAt[v].Load()
+	if f == 0 || f-1 < c.dirtyAt[v] {
+		return 0, 0, false
+	}
+	packed := c.val[v].Load()
+	lp := packed >> bitpack.CountBits
+	if lp == 0 {
+		return bfscount.NoCycle, 0, true
+	}
+	return int(lp) - 1, packed & bitpack.MaxCount, true
+}
+
+// put stores the answer computed for v under the stripe read-lock, tagged
+// with the fill epoch (the last applied batch's sequence number). The
+// value is stored before the epoch so a concurrent get that observes the
+// epoch observes a value of the same epoch interval.
+func (c *readCache) put(v int, seq uint64, length int, count uint64) {
+	var packed uint64
+	if length != bfscount.NoCycle {
+		packed = uint64(length+1)<<bitpack.CountBits | count
+	}
+	c.val[v].Store(packed)
+	c.fillAt[v].Store(seq + 1)
+}
+
+// invalidate expires every dirty vertex's slot as of batch seq. Must run
+// under the grace period (all stripes locked).
+func (c *readCache) invalidate(dirty []int, seq uint64) {
+	for _, v := range dirty {
+		c.dirtyAt[v] = seq
+	}
+}

@@ -19,13 +19,11 @@ package engine
 import (
 	"errors"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bfscount"
-	"repro/internal/bipartite"
 	"repro/internal/csc"
 	"repro/internal/graph"
 	"repro/internal/monitor"
@@ -87,6 +85,11 @@ type Options struct {
 	// sequential). Readers are unaffected either way — batches still
 	// apply inside the grace period.
 	UpdateWorkers int
+	// NoCache disables the epoch-tagged per-vertex result cache, making
+	// every CycleCount redo its label join. Queries stay correct either
+	// way; the knob exists for the cold-vs-cached benchmark ablation and
+	// as an escape hatch (the cache costs 24 bytes per vertex).
+	NoCache bool
 }
 
 func (o *Options) fill() {
@@ -119,6 +122,7 @@ type Stats struct {
 	Entries      int    `json:"entries"`
 	LabelBytes   int    `json:"label_bytes"`
 	Queries      uint64 `json:"queries"`
+	CacheHits    uint64 `json:"cache_hits"`
 	OpsEnqueued  uint64 `json:"ops_enqueued"`
 	OpsApplied   uint64 `json:"ops_applied"`
 	OpsCoalesced uint64 `json:"ops_coalesced"`
@@ -152,7 +156,12 @@ type Engine struct {
 	hookMu sync.Mutex
 	hooks  []func(applied []Op, touched []int)
 
-	queries             []paddedCount // striped like the lock shards
+	// cache is the epoch-tagged per-vertex result cache (cache.go), nil
+	// with Options.NoCache. Batch commits expire exactly the dirty
+	// vertices; every other slot keeps serving O(1) reads.
+	cache *readCache
+
+	queries, hits       []paddedCount // striped like the lock shards
 	enqueued, applied   atomic.Uint64
 	coalesced, rejected atomic.Uint64
 	batches, snaps      atomic.Uint64
@@ -210,6 +219,10 @@ func start(ix csc.Counter, st *Store, seq uint64, opts Options) *Engine {
 		done:    make(chan struct{}),
 		store:   st,
 		queries: make([]paddedCount, len(lock.shards)),
+		hits:    make([]paddedCount, len(lock.shards)),
+	}
+	if !opts.NoCache {
+		e.cache = newReadCache(e.n)
 	}
 	e.seq.Store(seq)
 	if st != nil {
@@ -262,16 +275,104 @@ func (e *Engine) clearErr() {
 // CycleCount answers SCCnt(v) inside a reader epoch: the length of the
 // shortest cycles through v (bfscount.NoCycle when none, or when v is out
 // of range) and their number. Safe from any goroutine, concurrently with
-// updates.
+// updates. A cache hit — the vertex untouched since its last read — skips
+// the label join entirely; a miss computes and refills inside the same
+// epoch.
 func (e *Engine) CycleCount(v int) (length int, count uint64) {
+	return e.read(v, true)
+}
+
+// read is the one cached epoch read behind every CycleCount variant —
+// client-facing (counted) and the monitor's internal reads (uncounted)
+// share the bounds check, stripe lock discipline, and cache protocol.
+func (e *Engine) read(v int, counted bool) (length int, count uint64) {
+	if v < 0 || v >= e.n {
+		return bfscount.NoCycle, 0
+	}
+	if counted {
+		e.queries[uint32(v)&e.lock.mask].n.Add(1)
+	}
+	m := e.lock.rlock(uint32(v))
+	length, count = e.readCached(v, counted)
+	m.RUnlock()
+	return length, count
+}
+
+// readCached is the cached read of one vertex. The caller must hold v's
+// stripe read-lock. counted selects whether a hit lands in the client
+// hit counter — the monitor's internal reads pass false so /stats
+// describes client traffic only.
+func (e *Engine) readCached(v int, counted bool) (length int, count uint64) {
+	if e.cache != nil {
+		if l, c, ok := e.cache.get(v); ok {
+			if counted {
+				e.hits[uint32(v)&e.lock.mask].n.Add(1)
+			}
+			return l, c
+		}
+	}
+	length, count = e.ix.CycleCount(v)
+	if e.cache != nil {
+		e.cache.put(v, e.seq.Load(), length, count)
+	}
+	return length, count
+}
+
+// CycleCountBounded answers SCCnt(v) restricted to cycle lengths ≤
+// maxLen, concurrently with updates. A valid cached answer is filtered
+// against the bound in O(1); a miss runs the bounded join kernel without
+// filling the cache (the bounded answer is partial information).
+func (e *Engine) CycleCountBounded(v, maxLen int) (length int, count uint64) {
 	if v < 0 || v >= e.n {
 		return bfscount.NoCycle, 0
 	}
 	e.queries[uint32(v)&e.lock.mask].n.Add(1)
 	m := e.lock.rlock(uint32(v))
-	length, count = e.ix.CycleCount(v)
-	m.RUnlock()
-	return length, count
+	defer m.RUnlock()
+	if e.cache != nil {
+		if l, c, ok := e.cache.get(v); ok {
+			e.hits[uint32(v)&e.lock.mask].n.Add(1)
+			if l == bfscount.NoCycle || l > maxLen {
+				return bfscount.NoCycle, 0
+			}
+			return l, c
+		}
+	}
+	return e.ix.CycleCountBounded(v, maxLen)
+}
+
+// CycleCountMany evaluates SCCnt for every vertex of vs into the caller's
+// buffers (vs[i]'s answer lands in lengths[i] and counts[i]), each read
+// inside its own reader epoch through the cache. Out-of-range vertices
+// report no cycle. This is the *client-facing* batch read: every vertex
+// counts toward the Queries/CacheHits stats. The top-k monitor's rescore
+// passes and warm scans use the same read protocol through the internal
+// uncounted watchQuerier instead, so /stats keeps describing client
+// traffic only.
+func (e *Engine) CycleCountMany(vs []int, lengths []int, counts []uint64) {
+	for i, v := range vs {
+		lengths[i], counts[i] = e.read(v, true)
+	}
+}
+
+// watchQuerier is the monitor's view of the engine: the same cached,
+// epoch-protected reads as the public CycleCount*, minus the client
+// query/hit counters — warm passes and post-batch rescores are internal
+// bookkeeping, and /stats should describe client traffic only. Fills
+// still land in the cache, which is the point: a rescored dirty vertex
+// is a warm slot for the next client read.
+type watchQuerier struct{ e *Engine }
+
+func (q watchQuerier) NumVertices() int { return q.e.n }
+
+func (q watchQuerier) CycleCount(v int) (length int, count uint64) {
+	return q.e.read(v, false)
+}
+
+func (q watchQuerier) CycleCountMany(vs []int, lengths []int, counts []uint64) {
+	for i, v := range vs {
+		lengths[i], counts[i] = q.e.read(v, false)
+	}
 }
 
 // Insert enqueues an edge insertion. It blocks while the mailbox is full
@@ -355,10 +456,11 @@ func (e *Engine) do(fn func() error) error {
 
 // OnBatch registers a post-batch hook: it runs on the writer goroutine
 // after each batch's grace period ends, with the applied (coalesced) ops
-// and the sorted original-graph vertices whose query answers the batch
-// may have changed. Hooks must not block for long — the mailbox stalls
-// while they run — and must not mutate the engine. Register hooks before
-// the first enqueue.
+// and the batch's dirty set — the sorted original-graph vertices whose
+// label lists the batch mutated, which is exactly the set whose query
+// answers can have changed. Hooks must not block for long — the mailbox
+// stalls while they run — and must not mutate the engine. Register hooks
+// before the first enqueue.
 func (e *Engine) OnBatch(fn func(applied []Op, touched []int)) {
 	e.hookMu.Lock()
 	e.hooks = append(e.hooks, fn)
@@ -366,27 +468,33 @@ func (e *Engine) OnBatch(fn func(applied []Op, touched []int)) {
 }
 
 // WatchTopK attaches a continuously maintained top-k scoreboard: the
-// monitor warms by scoring every vertex (csc.CycleCountAll with the
-// engine's Workers option, clamped to the vertex count) and then rides
-// the post-batch hook, rescoring exactly the touched vertices after each
-// batch. Attach before the first enqueue. The returned monitor's Score
-// and Top are safe concurrently with updates; do not route updates
-// through it.
+// monitor warms by scoring every vertex through the engine's cached,
+// epoch-protected reads (parallelism from the Workers option, clamped to
+// the vertex count) and then rides the post-batch hook, rescoring
+// exactly each batch's dirty set. Because the rescore reads go through
+// the engine, they also re-warm precisely the cache slots the batch
+// expired — the next /cycle read of a dirty vertex is already a hit —
+// without counting toward the Queries/CacheHits stats, which describe
+// client traffic only. Attach before the first enqueue. The returned
+// monitor's Score and Top are safe concurrently with updates; do not
+// route updates through it.
 func (e *Engine) WatchTopK(k int) *monitor.TopK {
-	m := monitor.NewParallel(e.ix, k, e.opts.Workers)
-	e.OnBatch(func(_ []Op, touched []int) { m.Rescore(touched) })
+	m := monitor.Watch(watchQuerier{e}, k, e.opts.Workers)
+	e.OnBatch(func(_ []Op, dirty []int) { m.RescoreDirty(dirty) })
 	return m
 }
 
 // Stats snapshots the engine counters. Index-size fields are read inside
 // a reader epoch, so it is safe concurrently with updates.
 func (e *Engine) Stats() Stats {
-	var queries uint64
+	var queries, hits uint64
 	for i := range e.queries {
 		queries += e.queries[i].n.Load()
+		hits += e.hits[i].n.Load()
 	}
 	st := Stats{
 		Queries:      queries,
+		CacheHits:    hits,
 		OpsEnqueued:  e.enqueued.Load(),
 		OpsApplied:   e.applied.Load(),
 		OpsCoalesced: e.coalesced.Load(),
@@ -514,7 +622,7 @@ func (e *Engine) applyPending() {
 		}
 		e.walBytes.Store(e.store.WALBytes())
 	}
-	touched := e.apply(batch)
+	touched := e.apply(batch, seq)
 	e.seq.Store(seq)
 	e.batches.Add(1)
 	e.applied.Add(uint64(len(batch)))
@@ -586,10 +694,13 @@ func batchOps(batch []Op) []csc.EdgeOp {
 // apply runs one batch inside the grace period through the index's batch
 // planner — the sharded index applies independent per-shard update
 // streams on UpdateWorkers goroutines and computes merge/split effects
-// once for the whole batch — and returns the sorted original-graph
-// vertices whose labels (or incident edges) it touched.
-func (e *Engine) apply(batch []Op) []int {
-	touched := make(map[int]struct{}, 2*len(batch))
+// once for the whole batch — and returns the batch's dirty set: the
+// sorted original-graph vertices whose labels it touched, which is
+// exactly the set whose query answers can differ (csc.DirtyVertices).
+// The result cache is expired for those vertices before the grace period
+// ends, so no reader ever pairs a post-batch epoch with a pre-batch
+// value.
+func (e *Engine) apply(batch []Op, seq uint64) []int {
 	e.lock.lockAll()
 	st, err := e.ix.ApplyBatch(batchOps(batch), e.opts.UpdateWorkers)
 	if err != nil {
@@ -599,25 +710,19 @@ func (e *Engine) apply(batch []Op) []int {
 		// batch down with it.
 		st = e.applyPerOp(batch)
 	}
+	dirty := csc.DirtyVertices(st)
+	if e.cache != nil {
+		e.cache.invalidate(dirty, seq)
+	}
 	e.lock.unlockAll()
-	for _, op := range batch {
-		touched[int(op.A)] = struct{}{}
-		touched[int(op.B)] = struct{}{}
-	}
-	for _, o := range st.TouchedOwners {
-		touched[bipartite.Original(int(o))] = struct{}{}
-	}
-	out := make([]int, 0, len(touched))
-	for v := range touched {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
+	return dirty
 }
 
 // applyPerOp is the degraded path behind apply: one edge at a time,
 // counting (instead of propagating) individually rejected ops. The
-// caller marks every op's endpoints touched either way.
+// aggregated TouchedOwners are the caller's only dirty-set source —
+// cache invalidation and hook rescoring both derive from them — so
+// every op that mutates labels must keep reporting its owners here.
 func (e *Engine) applyPerOp(batch []Op) pll.UpdateStats {
 	var agg pll.UpdateStats
 	for _, op := range batch {

@@ -46,10 +46,16 @@ type BenchResult struct {
 	// build/size fields describe the sharded build.
 	Sharding *ShardingRow `json:"sharding,omitempty"`
 
-	// Update is set on the UPD-* rows the suite appends last: the
-	// end-to-end update-throughput comparison of per-edge sequential
-	// maintenance against the batch planner (updates.go).
+	// Update is set on the UPD-* rows the suite appends after the
+	// SHARD-* rows: the end-to-end update-throughput comparison of
+	// per-edge sequential maintenance against the batch planner
+	// (updates.go).
 	Update *UpdateThroughputRow `json:"update,omitempty"`
+
+	// Query is set on the QRY-* rows the suite appends last: the
+	// read-path experiment — cold vs cached serving throughput and
+	// dirty-rescore vs full-rescore top-k maintenance (queries.go).
+	Query *QueryThroughputRow `json:"query,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -169,6 +175,18 @@ func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 			N:          row.N,
 			M:          row.M,
 			Update:     &row,
+		})
+	}
+	for _, row := range Queries(s) {
+		row := row
+		out = append(out, BenchResult{
+			Dataset:    "QRY-" + row.Family,
+			Scale:      s.String(),
+			Workers:    Workers,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			N:          row.N,
+			M:          row.M,
+			Query:      &row,
 		})
 	}
 	return out

@@ -283,6 +283,74 @@ func TestUpdateThroughputExperiment(t *testing.T) {
 	}
 }
 
+// TestQueryThroughputExperiment is the read-path acceptance gate: on the
+// many-small-SCC family at tiny scale, refreshing the top-k scoreboard
+// by rescoring only each batch-64 dirty set must sustain at least 2x the
+// throughput of a full RescoreAll per batch, every serve point must
+// carry live cold and cached rates, and the cached arm must actually hit
+// (the QRY-* rows in BENCH_*.json come straight from these).
+func TestQueryThroughputExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("query throughput experiment is not -short")
+	}
+	if raceEnabled {
+		// Wall-clock ratio gates are meaningless on an instrumented
+		// binary (see TestUpdateThroughputExperiment).
+		t.Skip("timing gate is not meaningful under -race")
+	}
+	rows := Queries(Tiny)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want one per family", len(rows))
+	}
+	byFam := map[string]QueryThroughputRow{}
+	for _, r := range rows {
+		if r.N == 0 || r.M == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if len(r.Serve) != len(serveRates) {
+			t.Fatalf("%s: %d serve points, want %d", r.Family, len(r.Serve), len(serveRates))
+		}
+		for i, p := range r.Serve {
+			if p.UpdateRatePerSec != serveRates[i] {
+				t.Fatalf("%s point %d rate %d, want %d", r.Family, i, p.UpdateRatePerSec, serveRates[i])
+			}
+			if p.ColdQPS <= 0 || p.CachedQPS <= 0 {
+				t.Fatalf("%s: degenerate serve point %+v", r.Family, p)
+			}
+		}
+		// The read-only point walks every vertex repeatedly; after the
+		// first sweep almost every read must be a hit.
+		if p := r.Serve[0]; p.CacheHitRate < 0.5 {
+			t.Fatalf("%s: rate-0 cache hit rate %.2f < 0.5", r.Family, p.CacheHitRate)
+		}
+		if len(r.TopK) != len(topkBatchSizes) {
+			t.Fatalf("%s: %d topk rows, want %d", r.Family, len(r.TopK), len(topkBatchSizes))
+		}
+		for _, p := range r.TopK {
+			if p.N == 0 || p.Batches == 0 || p.DirtyPerSec <= 0 || p.FullPerSec <= 0 || p.AvgDirty <= 0 {
+				t.Fatalf("%s: degenerate topk row %+v", r.Family, p)
+			}
+		}
+		byFam[r.Family] = r
+	}
+	var headline TopKRescoreRow
+	for _, p := range byFam["many-small-scc"].TopK {
+		if p.BatchSize == 64 {
+			headline = p
+		}
+	}
+	if headline.Speedup < 2 {
+		t.Fatalf("many-small-scc batch-64 dirty-rescore speedup %.2fx < 2x: %+v", headline.Speedup, headline)
+	}
+	var buf bytes.Buffer
+	if err := WriteQueries(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "many-small-scc") || !strings.Contains(buf.String(), "cached-q/s") {
+		t.Fatal("table missing expected content")
+	}
+}
+
 // The sharding experiment is the tentpole's acceptance gate: on the
 // DAG-heavy family the sharded build must be at least 2x faster and at
 // least 2x smaller than the monolithic one, and both numbers land in the

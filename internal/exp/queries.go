@@ -1,0 +1,238 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/csc"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/monitor"
+	"repro/internal/testgraphs"
+)
+
+// QueryServePoint is one update-rate point of the read-path experiment:
+// the same reader/updater protocol as the serving-throughput experiment,
+// run once against an engine with the result cache disabled (cold: every
+// read re-joins labels) and once with it enabled (cached: untouched
+// vertices answer O(1)).
+type QueryServePoint struct {
+	UpdateRatePerSec int     `json:"update_rate_per_sec"`
+	ColdQPS          float64 `json:"cold_queries_per_sec"`
+	CachedQPS        float64 `json:"cached_queries_per_sec"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// TopKRescoreRow is one batch-size point of the top-k maintenance
+// comparison: after each applied batch, refreshing the scoreboard by
+// rescoring only the batch's dirty set (the post-batch hook's strategy)
+// versus re-scoring every vertex (RescoreAll at the experiment's Workers
+// parallelism). Both strategies produce identical scoreboards — the
+// experiment cross-checks that — so the throughput ratio is a pure win.
+type TopKRescoreRow struct {
+	BatchSize int `json:"batch_size"`
+	// N and M describe the graph this comparison ran on — for
+	// many-small-SCC a larger instance than the row's serve half (see
+	// topkGraph), so per-vertex ratios must use these fields, not the
+	// row-level n/m.
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Batches     int     `json:"batches"`
+	AvgDirty    float64 `json:"avg_dirty_per_batch"`
+	DirtyNS     int64   `json:"dirty_rescore_wall_ns"`
+	FullNS      int64   `json:"full_rescore_wall_ns"`
+	DirtyPerSec float64 `json:"dirty_rescores_per_sec"`
+	FullPerSec  float64 `json:"full_rescores_per_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// QueryThroughputRow is one family's row of the read-path experiment
+// (`cscbench -exp queries`, the QRY-* rows of BENCH_*.json).
+type QueryThroughputRow struct {
+	Family  string            `json:"family"`
+	N       int               `json:"n"`
+	M       int               `json:"m"`
+	Workers int               `json:"workers"`
+	Serve   []QueryServePoint `json:"serve,omitempty"`
+	TopK    []TopKRescoreRow  `json:"topk,omitempty"`
+}
+
+// topkBatchSizes is the batch-size sweep of the rescore comparison.
+var topkBatchSizes = []int{1, 64}
+
+// topkGraph picks the graph each rescore comparison runs on: the same
+// families as the update experiment, except many-small-SCC grows — the
+// dirty share of a batch shrinks as the graph grows, which is exactly
+// the regime the dirty rescore exists for.
+func topkGraph(s Scale, fam updateFamily) *graph.Digraph {
+	if fam.name == "many-small-scc" {
+		switch s {
+		case Tiny:
+			return testgraphs.ManySmallSCC(600, 6, 1200, 8)
+		case Small:
+			return testgraphs.ManySmallSCC(1200, 6, 2400, 8)
+		default:
+			return testgraphs.ManySmallSCC(2400, 6, 4800, 8)
+		}
+	}
+	return fam.build(s)
+}
+
+// topkOpsBudget bounds the ops each rescore comparison applies; at batch
+// size 1 every op pays a full-board rescore on the RescoreAll arm, so
+// the budget stays small.
+func topkOpsBudget(s Scale) int {
+	switch s {
+	case Tiny:
+		return 512
+	case Small:
+		return 1024
+	default:
+		return 2048
+	}
+}
+
+// Queries runs the read-path experiment: per family, (1) cold-vs-cached
+// serving throughput at each update rate, and (2) dirty-rescore vs
+// full-rescore top-k maintenance throughput at each batch size.
+func Queries(s Scale) []QueryThroughputRow {
+	var rows []QueryThroughputRow
+	for _, fam := range updateFamilies() {
+		g := fam.build(s)
+		row := QueryThroughputRow{
+			Family:  fam.name,
+			N:       g.NumVertices(),
+			M:       g.NumEdges(),
+			Workers: Workers,
+		}
+
+		// Cold arm: the cache disabled, everything else identical.
+		coldIx, _ := csc.BuildSharded(g.Clone(), csc.Options{Workers: Workers})
+		cold := engine.New(coldIx, engine.Options{FlushInterval: -1, NoCache: true})
+		coldPts := serveBench(s, g, cold)
+		if err := cold.Close(); err != nil {
+			panic(err)
+		}
+		cachedIx, _ := csc.BuildSharded(g.Clone(), csc.Options{Workers: Workers})
+		cached := engine.New(cachedIx, engine.Options{FlushInterval: -1})
+		cachedPts := serveBench(s, g, cached)
+		if err := cached.Close(); err != nil {
+			panic(err)
+		}
+		for i := range coldPts {
+			p := QueryServePoint{
+				UpdateRatePerSec: coldPts[i].UpdateRatePerSec,
+				ColdQPS:          coldPts[i].QueriesPerSec,
+				CachedQPS:        cachedPts[i].QueriesPerSec,
+			}
+			if cachedPts[i].Queries > 0 {
+				p.CacheHitRate = float64(cachedPts[i].CacheHits) / float64(cachedPts[i].Queries)
+			}
+			if p.ColdQPS > 0 {
+				p.Speedup = p.CachedQPS / p.ColdQPS
+			}
+			row.Serve = append(row.Serve, p)
+		}
+
+		row.TopK = topkRescore(s, fam)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// topkRescore measures the two scoreboard-maintenance strategies over
+// the same applied batch stream on one index: per batch, RescoreDirty of
+// the batch's exact dirty set against RescoreAll of the whole board. The
+// two monitors' boards are cross-checked for equality as the stream
+// progresses.
+func topkRescore(s Scale, fam updateFamily) []TopKRescoreRow {
+	var rows []TopKRescoreRow
+	for _, bs := range topkBatchSizes {
+		g := topkGraph(s, fam)
+		x, _ := csc.BuildSharded(g, csc.Options{Workers: Workers})
+		batches := updateBatches(x, bs, topkOpsBudget(s))
+		if len(batches) == 0 {
+			continue
+		}
+		dirtyMon := monitor.NewParallel(x, 10, Workers)
+		fullMon := monitor.NewParallel(x, 10, Workers)
+
+		row := TopKRescoreRow{BatchSize: bs, N: g.NumVertices(), M: g.NumEdges()}
+		totalDirty := 0
+		for bi, batch := range batches {
+			st, err := x.ApplyBatch(batch, Workers)
+			if err != nil {
+				panic(err) // batches were derived from the live graph
+			}
+			dirty := csc.DirtyVertices(st)
+			totalDirty += len(dirty)
+
+			t0 := time.Now()
+			dirtyMon.RescoreDirty(dirty)
+			row.DirtyNS += time.Since(t0).Nanoseconds()
+
+			t1 := time.Now()
+			fullMon.RescoreAll(Workers)
+			row.FullNS += time.Since(t1).Nanoseconds()
+			row.Batches++
+
+			if bi%16 == 0 { // the two strategies must agree exactly
+				for v := 0; v < g.NumVertices(); v++ {
+					if dirtyMon.Score(v) != fullMon.Score(v) {
+						panic(fmt.Sprintf("exp: queries %s b%d batch %d: dirty board %+v != full board %+v at vertex %d",
+							fam.name, bs, bi, dirtyMon.Score(v), fullMon.Score(v), v))
+					}
+				}
+			}
+		}
+		row.AvgDirty = float64(totalDirty) / float64(row.Batches)
+		if row.DirtyNS > 0 {
+			row.DirtyPerSec = float64(row.Batches) / (float64(row.DirtyNS) / 1e9)
+		}
+		if row.FullNS > 0 {
+			row.FullPerSec = float64(row.Batches) / (float64(row.FullNS) / 1e9)
+		}
+		// Guard both legs: a zero wall-clock (coarse monotonic clock,
+		// all-empty dirty sets) must not put +Inf into the JSON artifact.
+		if row.FullNS > 0 && row.DirtyNS > 0 {
+			row.Speedup = float64(row.FullNS) / float64(row.DirtyNS)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteQueries renders the read-path experiment as prose tables.
+func WriteQueries(w io.Writer, rows []QueryThroughputRow) error {
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s (n=%d m=%d)\n", r.Family, r.N, r.M); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %8s | %12s %12s %8s %8s\n",
+			"rate", "cold-q/s", "cached-q/s", "hit", "speedup"); err != nil {
+			return err
+		}
+		for _, p := range r.Serve {
+			if _, err := fmt.Fprintf(w, "  %8d | %12.0f %12.0f %7.1f%% %7.2fx\n",
+				p.UpdateRatePerSec, p.ColdQPS, p.CachedQPS, 100*p.CacheHitRate, p.Speedup); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  %8s | %8s %8s %10s %14s %14s %8s\n",
+			"batch", "n", "batches", "avg-dirty", "dirty-resc/s", "full-resc/s", "speedup"); err != nil {
+			return err
+		}
+		for _, p := range r.TopK {
+			if _, err := fmt.Fprintf(w, "  %8d | %8d %8d %10.1f %14.0f %14.0f %7.1fx\n",
+				p.BatchSize, p.N, p.Batches, p.AvgDirty, p.DirtyPerSec, p.FullPerSec, p.Speedup); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ type ServePoint struct {
 	WindowNS         int64   `json:"window_ns"`
 	Queries          uint64  `json:"queries"`
 	QueriesPerSec    float64 `json:"queries_per_sec"`
+	CacheHits        uint64  `json:"cache_hits,omitempty"`
 	OpsApplied       uint64  `json:"ops_applied"`
 	Batches          uint64  `json:"batches"`
 }
@@ -128,6 +129,7 @@ func serveBench(s Scale, g *graph.Digraph, e *engine.Engine) []ServePoint {
 			WindowNS:         elapsed.Nanoseconds(),
 			Queries:          queries,
 			QueriesPerSec:    float64(queries) / elapsed.Seconds(),
+			CacheHits:        after.CacheHits - before.CacheHits,
 			OpsApplied:       after.OpsApplied - before.OpsApplied,
 			Batches:          after.Batches - before.Batches,
 		})

@@ -1,0 +1,287 @@
+package label
+
+import (
+	"repro/internal/bitpack"
+)
+
+// This file is the read path's join kernel: the merge-join of an out-list
+// and an in-list over common hubs (Equations 1-2) operating on raw
+// bitpack.Entry slices straight out of the CSR arena. Three variants
+// exist:
+//
+//   - JoinEntries / JoinDistEntries: the exact kernels behind Join and
+//     JoinDist, a tight two-pointer merge that switches to galloping
+//     (exponential + binary search) skips through the longer list when
+//     the lengths are badly skewed — the hub-vertex-vs-leaf shape where
+//     a linear merge wastes almost all of its comparisons;
+//   - JoinBoundedEntries: the early-exit variant used for bounded
+//     queries (top-k screening, /cycle?maxlen): distances above the
+//     bound never enter the count arithmetic, and the running bound
+//     tightens to the best distance found so far.
+//
+// All variants are pure reads and safe under any concurrency the caller
+// arranges for the lists themselves.
+
+// gallopRatio is the length skew at which the join switches from the
+// linear merge to galloping through the longer list. Below it the merge's
+// sequential scan wins on locality; above it the short side's entries are
+// rare enough that O(short · log(long)) beats O(short + long). The
+// crossover is flat around 8-32 on the BenchmarkJoin* suite; 16 sits in
+// the middle.
+const gallopRatio = 16
+
+// JoinEntries evaluates Equations (1)-(2) on raw entry slices: the
+// minimum sd over common hubs and the saturating sum of count products at
+// that distance. Both slices must be in strictly ascending hub order (the
+// List invariant). When the lists share no hub it returns
+// (Unreachable, 0).
+func JoinEntries(oe, ie []bitpack.Entry) (dist int, count uint64) {
+	// The combine step is symmetric in the two sides, so the gallop path
+	// only needs "short" and "long".
+	if len(oe) >= gallopRatio*len(ie) {
+		return joinGallop(ie, oe)
+	}
+	if len(ie) >= gallopRatio*len(oe) {
+		return joinGallop(oe, ie)
+	}
+	dist = Unreachable
+	i, j := 0, 0
+	for i < len(oe) && j < len(ie) {
+		a, b := oe[i], ie[j]
+		ha, hb := a.Hub(), b.Hub()
+		if ha == hb {
+			d := a.Dist() + b.Dist()
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(a.Count(), b.Count())
+			} else if d == dist {
+				count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+			}
+			i++
+			j++
+			continue
+		}
+		if ha < hb {
+			i++
+		} else {
+			j++
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+// joinGallop joins a short list against a much longer one: every short
+// entry seeks its hub in the long list with an exponential bracket plus a
+// binary search, so runs of long-list hubs absent from the short list are
+// skipped in O(log run) instead of O(run).
+func joinGallop(short, long []bitpack.Entry) (dist int, count uint64) {
+	dist = Unreachable
+	j := 0
+	for _, a := range short {
+		h := a.Hub()
+		j = seekHub(long, j, h)
+		if j == len(long) {
+			break
+		}
+		b := long[j]
+		if b.Hub() != h {
+			continue
+		}
+		j++
+		d := a.Dist() + b.Dist()
+		if d < dist {
+			dist = d
+			count = bitpack.SatMul(a.Count(), b.Count())
+		} else if d == dist {
+			count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+// seekHub returns the first index i ≥ from with l[i].Hub() ≥ hub (len(l)
+// when none), galloping: doubling steps bracket the position, a binary
+// search pins it. Cost is O(log distance-moved), so a full pass over a
+// short list moves through the long list in O(short · log(long)) total.
+func seekHub(l []bitpack.Entry, from, hub int) int {
+	if from >= len(l) || l[from].Hub() >= hub {
+		return from
+	}
+	// Invariant below: l[lo].Hub() < hub.
+	lo, step := from, 1
+	for lo+step < len(l) && l[lo+step].Hub() < hub {
+		lo += step
+		step <<= 1
+	}
+	hi := lo + step
+	if hi > len(l) {
+		hi = len(l)
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid].Hub() < hub {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// JoinDistEntries is JoinEntries restricted to the distance: it still
+// visits every common hub (the minimum can appear anywhere in rank order)
+// but skips all count arithmetic.
+func JoinDistEntries(oe, ie []bitpack.Entry) int {
+	if len(oe) >= gallopRatio*len(ie) {
+		return joinDistGallop(ie, oe)
+	}
+	if len(ie) >= gallopRatio*len(oe) {
+		return joinDistGallop(oe, ie)
+	}
+	dist := Unreachable
+	i, j := 0, 0
+	for i < len(oe) && j < len(ie) {
+		a, b := oe[i], ie[j]
+		ha, hb := a.Hub(), b.Hub()
+		if ha == hb {
+			if d := a.Dist() + b.Dist(); d < dist {
+				dist = d
+			}
+			i++
+			j++
+			continue
+		}
+		if ha < hb {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dist
+}
+
+func joinDistGallop(short, long []bitpack.Entry) int {
+	dist := Unreachable
+	j := 0
+	for _, a := range short {
+		h := a.Hub()
+		j = seekHub(long, j, h)
+		if j == len(long) {
+			break
+		}
+		if b := long[j]; b.Hub() == h {
+			j++
+			if d := a.Dist() + b.Dist(); d < dist {
+				dist = d
+			}
+		}
+	}
+	return dist
+}
+
+// JoinBoundedEntries is JoinEntries restricted to distances ≤ maxDist:
+// pairs above the bound never enter the count arithmetic, the running
+// bound tightens to the best distance found (larger sums can no longer
+// matter), and entries whose own distance already exceeds the bound are
+// skipped outright. Skewed lengths take the same galloping path as the
+// full join. When no common hub meets the bound it returns
+// (Unreachable, 0) — callers read that as "nothing within the bound", not
+// as global unreachability.
+func JoinBoundedEntries(oe, ie []bitpack.Entry, maxDist int) (dist int, count uint64) {
+	if maxDist < 0 {
+		return Unreachable, 0
+	}
+	if len(oe) >= gallopRatio*len(ie) {
+		return joinBoundedGallop(ie, oe, maxDist)
+	}
+	if len(ie) >= gallopRatio*len(oe) {
+		return joinBoundedGallop(oe, ie, maxDist)
+	}
+	dist = Unreachable
+	bound := maxDist
+	i, j := 0, 0
+	for i < len(oe) && j < len(ie) {
+		a, b := oe[i], ie[j]
+		ha, hb := a.Hub(), b.Hub()
+		if ha == hb {
+			i++
+			j++
+			da := a.Dist()
+			if da > bound {
+				continue
+			}
+			d := da + b.Dist()
+			if d > bound {
+				continue
+			}
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(a.Count(), b.Count())
+				bound = d
+			} else { // d == dist: the bound pinned d ≤ dist already
+				count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+			}
+			continue
+		}
+		if ha < hb {
+			i++
+		} else {
+			j++
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+// joinBoundedGallop is the bounded join's skew path. A short entry whose
+// own distance already exceeds the bound skips without seeking — hub
+// order in the short list is ascending, so the long-side cursor stays
+// valid.
+func joinBoundedGallop(short, long []bitpack.Entry, maxDist int) (dist int, count uint64) {
+	dist = Unreachable
+	bound := maxDist
+	j := 0
+	for _, a := range short {
+		da := a.Dist()
+		if da > bound {
+			continue
+		}
+		j = seekHub(long, j, a.Hub())
+		if j == len(long) {
+			break
+		}
+		b := long[j]
+		if b.Hub() != a.Hub() {
+			continue
+		}
+		j++
+		d := da + b.Dist()
+		if d > bound {
+			continue
+		}
+		if d < dist {
+			dist = d
+			count = bitpack.SatMul(a.Count(), b.Count())
+			bound = d
+		} else { // d == dist
+			count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+// JoinBounded is JoinBoundedEntries over two Lists.
+func JoinBounded(out, in *List, maxDist int) (dist int, count uint64) {
+	return JoinBoundedEntries(out.e, in.e, maxDist)
+}

@@ -1,0 +1,109 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitpack"
+)
+
+// The BenchmarkJoin* suite measures the join kernel shapes the read path
+// cares about: balanced merges (typical vertex-vertex queries), skewed
+// merges (a leaf's short list against a hub vertex's long one — the shape
+// the galloping path exists for), and the bounded early-exit variant.
+// EXPERIMENTS.md records representative numbers.
+
+// benchLists builds an out/in pair with the given lengths over a shared
+// hub space sized so roughly half the shorter list's hubs match.
+func benchLists(nOut, nIn int) (oe, ie []bitpack.Entry) {
+	r := rand.New(rand.NewSource(int64(nOut)*1_000_003 + int64(nIn)))
+	space := 2 * (nOut + nIn)
+	return randList(r, nOut, space, 12), randList(r, nIn, space, 12)
+}
+
+// joinMergeOnly is the pre-gallop linear merge, kept as the benchmark
+// baseline so the gallop crossover stays measurable.
+func joinMergeOnly(oe, ie []bitpack.Entry) (dist int, count uint64) {
+	dist = Unreachable
+	i, j := 0, 0
+	for i < len(oe) && j < len(ie) {
+		a, b := oe[i], ie[j]
+		ha, hb := a.Hub(), b.Hub()
+		if ha == hb {
+			d := a.Dist() + b.Dist()
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(a.Count(), b.Count())
+			} else if d == dist {
+				count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+			}
+			i++
+			j++
+			continue
+		}
+		if ha < hb {
+			i++
+		} else {
+			j++
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+var sinkDist int
+var sinkCount uint64
+
+func benchJoin(b *testing.B, nOut, nIn int, f func(oe, ie []bitpack.Entry) (int, uint64)) {
+	oe, ie := benchLists(nOut, nIn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkDist, sinkCount = f(oe, ie)
+	}
+}
+
+func BenchmarkJoinBalanced32(b *testing.B)  { benchJoin(b, 32, 32, JoinEntries) }
+func BenchmarkJoinBalanced256(b *testing.B) { benchJoin(b, 256, 256, JoinEntries) }
+
+// The skewed pair: the same lists through the plain merge and through
+// JoinEntries (which takes the gallop path at this skew).
+func BenchmarkJoinSkewMerge4x1024(b *testing.B)  { benchJoin(b, 4, 1024, joinMergeOnly) }
+func BenchmarkJoinSkewGallop4x1024(b *testing.B) { benchJoin(b, 4, 1024, JoinEntries) }
+func BenchmarkJoinSkewMerge16x4096(b *testing.B) { benchJoin(b, 16, 4096, joinMergeOnly) }
+func BenchmarkJoinSkewGallop16x4096(b *testing.B) {
+	benchJoin(b, 16, 4096, JoinEntries)
+}
+
+func BenchmarkJoinDistBalanced256(b *testing.B) {
+	oe, ie := benchLists(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkDist = JoinDistEntries(oe, ie)
+	}
+}
+
+func BenchmarkJoinBoundedTight256(b *testing.B) {
+	oe, ie := benchLists(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkDist, sinkCount = JoinBoundedEntries(oe, ie, 2)
+	}
+}
+
+func BenchmarkJoinBoundedLoose256(b *testing.B) {
+	oe, ie := benchLists(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkDist, sinkCount = JoinBoundedEntries(oe, ie, Unreachable)
+	}
+}
+
+func BenchmarkJoinBoundedSkew16x4096(b *testing.B) {
+	oe, ie := benchLists(16, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkDist, sinkCount = JoinBoundedEntries(oe, ie, 6)
+	}
+}

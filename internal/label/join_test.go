@@ -1,0 +1,135 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitpack"
+)
+
+// refJoin is the obviously-correct reference: hash the out side, probe
+// every in entry, track the minimum and its saturating count sum.
+func refJoin(oe, ie []bitpack.Entry, maxDist int) (int, uint64) {
+	byHub := make(map[int]bitpack.Entry, len(oe))
+	for _, e := range oe {
+		byHub[e.Hub()] = e
+	}
+	dist, count := Unreachable, uint64(0)
+	for _, b := range ie {
+		a, ok := byHub[b.Hub()]
+		if !ok {
+			continue
+		}
+		d := a.Dist() + b.Dist()
+		if d > maxDist {
+			continue
+		}
+		if d < dist {
+			dist = d
+			count = bitpack.SatMul(a.Count(), b.Count())
+		} else if d == dist {
+			count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+// randList draws n distinct hubs from [0, hubSpace) in ascending order
+// with random distances and counts.
+func randList(r *rand.Rand, n, hubSpace, maxD int) []bitpack.Entry {
+	if n > hubSpace {
+		n = hubSpace
+	}
+	hubs := r.Perm(hubSpace)[:n]
+	out := make([]bitpack.Entry, 0, n)
+	seen := make(map[int]bool, n)
+	for _, h := range hubs {
+		seen[h] = true
+	}
+	for h := 0; h < hubSpace; h++ {
+		if seen[h] {
+			out = append(out, bitpack.Pack(h, r.Intn(maxD), uint64(1+r.Intn(200))))
+		}
+	}
+	return out
+}
+
+// Every kernel variant must agree with the reference on random lists at
+// every skew — including the shapes that trip the galloping path on
+// either side — and JoinDist must report the same distance.
+func TestJoinKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	shapes := [][2]int{
+		{0, 0}, {0, 40}, {40, 0}, {1, 1},
+		{5, 5}, {30, 30}, {64, 64},
+		{1, 200}, {200, 1}, {3, 500}, {500, 3}, // gallop on each side
+		{15, 16 * 15}, {16 * 15, 15}, // right at the ratio boundary
+	}
+	for trial := 0; trial < 200; trial++ {
+		shape := shapes[trial%len(shapes)]
+		hubSpace := shape[0] + shape[1] + 1 + r.Intn(100)
+		oe := randList(r, shape[0], hubSpace, 30)
+		ie := randList(r, shape[1], hubSpace, 30)
+
+		wd, wc := refJoin(oe, ie, Unreachable)
+		if d, c := JoinEntries(oe, ie); d != wd || c != wc {
+			t.Fatalf("trial %d shape %v: JoinEntries = (%d,%d), want (%d,%d)", trial, shape, d, c, wd, wc)
+		}
+		if d := JoinDistEntries(oe, ie); d != wd {
+			t.Fatalf("trial %d shape %v: JoinDistEntries = %d, want %d", trial, shape, d, wd)
+		}
+		for _, bound := range []int{-1, 0, 3, wd, wd + 1, 100} {
+			bd, bc := refJoin(oe, ie, bound)
+			if d, c := JoinBoundedEntries(oe, ie, bound); d != bd || c != bc {
+				t.Fatalf("trial %d shape %v bound %d: JoinBoundedEntries = (%d,%d), want (%d,%d)",
+					trial, shape, bound, d, c, bd, bc)
+			}
+		}
+	}
+}
+
+// The List wrappers must stay views over the same kernels.
+func TestJoinWrappers(t *testing.T) {
+	var out, in List
+	out.Append(bitpack.Pack(1, 2, 3))
+	out.Append(bitpack.Pack(4, 1, 2))
+	in.Append(bitpack.Pack(1, 1, 5))
+	in.Append(bitpack.Pack(4, 2, 7))
+	d, c := Join(&out, &in)
+	if d != 3 || c != 15+14 {
+		t.Fatalf("Join = (%d,%d)", d, c)
+	}
+	if jd := JoinDist(&out, &in); jd != 3 {
+		t.Fatalf("JoinDist = %d", jd)
+	}
+	if d, c := JoinBounded(&out, &in, 2); d != Unreachable || c != 0 {
+		t.Fatalf("JoinBounded(2) = (%d,%d), want unreachable", d, c)
+	}
+	if d, c := JoinBounded(&out, &in, 3); d != 3 || c != 29 {
+		t.Fatalf("JoinBounded(3) = (%d,%d)", d, c)
+	}
+}
+
+// seekHub is the gallop's pivot; pin its boundary behavior directly.
+func TestSeekHub(t *testing.T) {
+	var l []bitpack.Entry
+	for _, h := range []int{2, 5, 9, 14, 30, 31, 90} {
+		l = append(l, bitpack.Pack(h, 1, 1))
+	}
+	for _, tc := range [][3]int{
+		{0, 0, 0},  // before the first hub
+		{0, 2, 0},  // exact first
+		{0, 3, 1},  // between
+		{0, 91, 7}, // past the end
+		{3, 14, 3}, // from its own index
+		{2, 31, 5}, // gallop over a run
+		{7, 5, 7},  // from == len
+	} {
+		if got := seekHub(l, tc[0], tc[1]); got != tc[2] {
+			t.Fatalf("seekHub(from=%d, hub=%d) = %d, want %d", tc[0], tc[1], got, tc[2])
+		}
+	}
+}

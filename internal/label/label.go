@@ -105,56 +105,15 @@ func (l *List) Bytes() int { return 8 * len(l.e) }
 // sd(s,h)+sd(h,t) and the saturating sum of count products at that
 // distance. When the lists share no hub it returns (Unreachable, 0).
 // After a Freeze, the two lists are views into the CSR arena, so the scan
-// walks two contiguous spans of one allocation.
+// walks two contiguous spans of one allocation. Badly skewed list lengths
+// take the galloping path (join.go).
 func Join(out, in *List) (dist int, count uint64) {
-	dist = Unreachable
-	i, j := 0, 0
-	oe, ie := out.e, in.e
-	for i < len(oe) && j < len(ie) {
-		ho, hi := oe[i].Hub(), ie[j].Hub()
-		switch {
-		case ho < hi:
-			i++
-		case ho > hi:
-			j++
-		default:
-			d := oe[i].Dist() + ie[j].Dist()
-			if d < dist {
-				dist = d
-				count = bitpack.SatMul(oe[i].Count(), ie[j].Count())
-			} else if d == dist {
-				count = bitpack.SatAdd(count, bitpack.SatMul(oe[i].Count(), ie[j].Count()))
-			}
-			i++
-			j++
-		}
-	}
-	if dist == Unreachable {
-		return Unreachable, 0
-	}
-	return dist, count
+	return JoinEntries(out.e, in.e)
 }
 
-// JoinDist is Join restricted to the distance; it still scans both lists
-// fully (the minimum can appear anywhere) but skips count arithmetic.
+// JoinDist is Join restricted to the distance; it still visits every
+// common hub (the minimum can appear anywhere) but skips count
+// arithmetic.
 func JoinDist(out, in *List) int {
-	dist := Unreachable
-	i, j := 0, 0
-	oe, ie := out.e, in.e
-	for i < len(oe) && j < len(ie) {
-		ho, hi := oe[i].Hub(), ie[j].Hub()
-		switch {
-		case ho < hi:
-			i++
-		case ho > hi:
-			j++
-		default:
-			if d := oe[i].Dist() + ie[j].Dist(); d < dist {
-				dist = d
-			}
-			i++
-			j++
-		}
-	}
-	return dist
+	return JoinDistEntries(out.e, in.e)
 }

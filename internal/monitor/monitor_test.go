@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/bfscount"
@@ -118,6 +119,65 @@ func TestTopMatchesBruteForce(t *testing.T) {
 			}
 		}
 	}
+}
+
+// RescoreAll and RescoreDirty share the monitor's persistent result
+// buffers, so they must serialize on the scoreboard lock. Regression
+// for a review finding: a full rescore running concurrently with a
+// post-batch dirty rescore raced on the resized buffers and panicked.
+// Run with -race.
+func TestConcurrentRescoreAllAndDirty(t *testing.T) {
+	g := graph.New(24)
+	for v := 0; v < 24; v++ {
+		_ = g.AddEdge(v, (v+1)%24)
+	}
+	m := build(t, g, 5)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			m.RescoreAll(2)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			m.RescoreDirty([]int{i % 24, (i + 7) % 24})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			m.Top()
+			m.Score(i % 24)
+		}
+	}()
+	wg.Wait()
+	if s := m.Score(0); !s.Exists || s.Length != 24 {
+		t.Fatalf("scoreboard corrupted: %+v", s)
+	}
+}
+
+// Out-of-range ids in a dirty set must be dropped before the batched
+// query — the monolithic index does not bounds-check — while in-range
+// ids around them still rescore. Regression for a review finding.
+func TestRescoreDirtyOutOfRange(t *testing.T) {
+	g := graph.New(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	x, _ := csc.Build(g, order.ByDegree(g), csc.Options{Workers: 1})
+	m := New(x, 2) // monolithic wiring: the strict Querier
+	if _, err := x.InsertEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.RescoreDirty([]int{-1, 0, 3, 1, 99, 2})
+	for v := 0; v < 3; v++ {
+		if s := m.Score(v); !s.Exists || s.Length != 3 {
+			t.Fatalf("vertex %d not rescored around out-of-range ids: %+v", v, s)
+		}
+	}
+	m.RescoreDirty([]int{-5, 42}) // nothing in range: a no-op, not a panic
 }
 
 func TestTopOnAcyclicGraph(t *testing.T) {

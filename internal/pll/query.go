@@ -20,6 +20,13 @@ func (idx *Index) CountPaths(s, t int) (dist int, count uint64) {
 	return label.Join(&idx.Out[s], &idx.In[t])
 }
 
+// CountPathsBounded is CountPaths restricted to distances ≤ maxDist: it
+// returns (Unreachable, 0) when the true distance exceeds the bound,
+// without paying any count arithmetic for over-bound hub pairs.
+func (idx *Index) CountPathsBounded(s, t, maxDist int) (dist int, count uint64) {
+	return label.JoinBounded(&idx.Out[s], &idx.In[t], maxDist)
+}
+
 // InLabel exposes v's in-label list (read-only use).
 func (idx *Index) InLabel(v int) *label.List { return &idx.In[v] }
 

@@ -5,7 +5,9 @@
 //
 // Routes:
 //
-//	GET    /cycle/{v}     SCCnt query for one vertex
+//	GET    /cycle/{v}     SCCnt query for one vertex (?maxlen=L bounds
+//	                      the answer to cycles of length ≤ L via the
+//	                      bounded join kernel)
 //	GET    /top           current top-k ranking (requires a watch)
 //	POST   /edges         enqueue a batch of insertions
 //	DELETE /edges         enqueue a batch of deletions
@@ -110,7 +112,18 @@ func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "vertex %d out of range [0,%d)", v, s.e.NumVertices())
 		return
 	}
-	l, c := s.e.CycleCount(v)
+	var l int
+	var c uint64
+	if raw := r.URL.Query().Get("maxlen"); raw != "" {
+		maxLen, err := strconv.Atoi(raw)
+		if err != nil || maxLen < 1 {
+			writeErr(w, http.StatusBadRequest, "maxlen %q is not a positive integer", raw)
+			return
+		}
+		l, c = s.e.CycleCountBounded(v, maxLen)
+	} else {
+		l, c = s.e.CycleCount(v)
+	}
 	out := CycleJSON{Vertex: v}
 	if l != bfscount.NoCycle {
 		out.Exists = true

@@ -133,6 +133,24 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("after chord deletion vertex 1 should be on the triangle, got %v", body)
 	}
 
+	// Bounded query: vertex 1 sits on the length-3 triangle only, so a
+	// maxlen=2 screen reports no cycle while maxlen=3 reports it.
+	_, body = do(t, "GET", srv.URL+"/cycle/1?maxlen=2", nil)
+	exists = true
+	_ = json.Unmarshal(body["exists"], &exists)
+	if exists {
+		t.Fatalf("maxlen=2 should screen out the triangle: %v", body)
+	}
+	_, body = do(t, "GET", srv.URL+"/cycle/1?maxlen=3", nil)
+	_ = json.Unmarshal(body["exists"], &exists)
+	_ = json.Unmarshal(body["length"], &length)
+	if !exists || length != 3 {
+		t.Fatalf("maxlen=3 should keep the triangle: %v", body)
+	}
+	if code, _ := do(t, "GET", srv.URL+"/cycle/1?maxlen=zero", nil); code != 400 {
+		t.Fatalf("bad maxlen accepted: %d", code)
+	}
+
 	// Bad inputs.
 	if code, _ := do(t, "GET", srv.URL+"/cycle/999", nil); code != 404 {
 		t.Fatalf("out-of-range vertex: %d", code)
