@@ -50,8 +50,16 @@ func main() {
 		workers  = flag.Int("workers", 0, "build/warm parallelism (0 = all cores)")
 		updWork  = flag.Int("update-workers", 0, "batch-apply parallelism: per-shard update streams per batch (0 = all cores, 1 = sequential)")
 		noCache  = flag.Bool("no-read-cache", false, "disable the per-vertex result cache (every /cycle read re-joins labels)")
+		admit    = flag.String("admission", "block", "full-mailbox policy: block (backpressure), reject (429), shed (drop + count)")
+		oobReb   = flag.Int("oob-rebuild-threshold", 0, "defer structural shard rebuilds of at least this many vertices off the write path (0 = always inline)")
+		walRetry = flag.Int("wal-retry", 3, "WAL append retries before degrading to read-only (with -data)")
 	)
 	flag.Parse()
+
+	policy, err := cyclehub.ParseAdmission(*admit)
+	if err != nil {
+		log.Fatalf("cscd: %v", err)
+	}
 
 	bootstrap := func() (*cyclehub.Index, error) {
 		if *graphIn != "" {
@@ -82,6 +90,9 @@ func main() {
 		cyclehub.WithMailbox(*mailbox),
 		cyclehub.WithSnapshotEvery(*snapshot),
 		cyclehub.WithUpdateWorkers(*updWork),
+		cyclehub.WithAdmission(policy),
+		cyclehub.WithWALRetry(*walRetry),
+		cyclehub.WithOOBRebuildThreshold(*oobReb),
 	}
 	if *topK > 0 {
 		opts = append(opts, cyclehub.WithTopK(*topK))
@@ -90,10 +101,7 @@ func main() {
 		opts = append(opts, cyclehub.WithoutReadCache())
 	}
 
-	var (
-		eng *cyclehub.Engine
-		err error
-	)
+	var eng *cyclehub.Engine
 	if *data != "" {
 		eng, err = cyclehub.OpenEngine(*data, bootstrap, opts...)
 	} else {

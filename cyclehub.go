@@ -392,6 +392,46 @@ func WithoutReadCache() EngineOption {
 	return func(c *engineConfig) { c.opts.NoCache = true }
 }
 
+// AdmissionPolicy selects what an enqueue does when the update mailbox
+// is full: AdmitBlock waits (bounded by the caller's context), AdmitReject
+// fails fast with engine.ErrOverloaded, AdmitShed drops and counts.
+type AdmissionPolicy = engine.AdmissionPolicy
+
+// Admission policies for WithAdmission.
+const (
+	AdmitBlock  = engine.AdmitBlock
+	AdmitReject = engine.AdmitReject
+	AdmitShed   = engine.AdmitShed
+)
+
+// ParseAdmission maps a flag string (block | reject | shed) to a policy.
+func ParseAdmission(s string) (AdmissionPolicy, error) { return engine.ParseAdmission(s) }
+
+// WithAdmission sets the engine's full-mailbox admission policy
+// (default AdmitBlock: backpressure).
+func WithAdmission(p AdmissionPolicy) EngineOption {
+	return func(c *engineConfig) { c.opts.Admission = p }
+}
+
+// WithWALRetry bounds how many times a failed WAL append is retried
+// (with doubling backoff and a rollback of any torn partial write)
+// before the engine drops the batch and degrades to read-only mode —
+// reads keep serving, updates fail with engine.ErrReadOnly, and a
+// successful Snapshot heals the store.
+func WithWALRetry(n int) EngineOption {
+	return func(c *engineConfig) { c.opts.WALRetry = n }
+}
+
+// WithOOBRebuildThreshold moves structural shard rebuilds of at least n
+// vertices off the write path: the batch commits its cheap incremental
+// work immediately, affected shards keep serving their pre-batch
+// answers (listed in EngineStats.Degraded), and the rebuild runs out of
+// band and swaps in atomically when done. 0 (the default) keeps every
+// rebuild inline.
+func WithOOBRebuildThreshold(n int) EngineOption {
+	return func(c *engineConfig) { c.opts.OOBRebuildThreshold = n }
+}
+
 // WithUpdateWorkers sets how many goroutines the writer uses to apply
 // each coalesced batch (0 = all cores, 1 = sequential). The default
 // sharded index plans every batch per strongly connected component and
@@ -537,6 +577,18 @@ type EngineStats struct {
 	Queries, CacheHits, OpsEnqueued, OpsApplied, OpsCoalesced, OpsRejected uint64
 	Batches, Seq, Snapshots                                                uint64
 	WALBytes                                                               int64
+	// QueueDepth/MailboxCap describe writer saturation; OpsShed and
+	// OpsOverload count admission-policy drops and rejections.
+	QueueDepth, MailboxCap int
+	OpsShed, OpsOverload   uint64
+	// WALRetries counts retried WAL appends; ReadOnly reports the
+	// durability-lost degraded mode. Degraded lists shard slots serving
+	// stale answers while an out-of-band rebuild is pending; OOBRebuilds
+	// and OOBSuperseded count completed and discarded background rebuilds.
+	WALRetries                 uint64
+	ReadOnly                   bool
+	Degraded                   []int
+	OOBRebuilds, OOBSuperseded uint64
 }
 
 // Stats snapshots the engine counters; safe concurrently with updates.
@@ -547,11 +599,21 @@ func (e *Engine) Stats() EngineStats {
 		Queries: s.Queries, CacheHits: s.CacheHits, OpsEnqueued: s.OpsEnqueued, OpsApplied: s.OpsApplied,
 		OpsCoalesced: s.OpsCoalesced, OpsRejected: s.OpsRejected,
 		Batches: s.Batches, Seq: s.Seq, Snapshots: s.Snapshots, WALBytes: s.WALBytes,
+		QueueDepth: s.QueueDepth, MailboxCap: s.MailboxCap,
+		OpsShed: s.OpsShed, OpsOverload: s.OpsOverload,
+		WALRetries: s.WALRetries, ReadOnly: s.ReadOnly, Degraded: s.Degraded,
+		OOBRebuilds: s.OOBRebuilds, OOBSuperseded: s.OOBSuperseded,
 	}
 }
 
-// Err reports the first durability error, if any; the engine keeps
-// serving in memory after one.
+// WaitRebuilds flushes and blocks until no out-of-band rebuild is
+// pending (only meaningful with WithOOBRebuildThreshold): afterwards
+// every shard serves fresh answers.
+func (e *Engine) WaitRebuilds() error { return e.e.WaitRebuilds() }
+
+// Err reports the first durability error, if any. After one the engine
+// serves reads only: updates fail with engine.ErrReadOnly until a
+// successful Snapshot heals the store.
 func (e *Engine) Err() error { return e.e.Err() }
 
 // WriteTo flushes pending batches and serializes the served index (the

@@ -157,6 +157,10 @@ type batchPlan struct {
 	streams    map[int32][]EdgeOp // shard slot → its intra-shard ops, in batch order
 	dirty      map[int32]bool     // stream shards holding at least one delete
 	structural []EdgeOp           // ops crossing shards or touching trivial vertices
+	// touchedPending marks an op landing inside the pending deferral's
+	// region (set by planBatchDeferred only): the deferral must be
+	// recomputed against the batch's final edge set.
+	touchedPending bool
 }
 
 // planBatch groups the batch's ops by shard. An op whose endpoints sit in
@@ -204,6 +208,13 @@ type batchTask struct {
 // Ops confined to trivial components that close no cycle touch no labels
 // at all.
 func (x *Sharded) ApplyBatch(batch []EdgeOp, workers int) (pll.UpdateStats, error) {
+	if x.pendingReb != nil {
+		// A deferral is pending: the plain planner would stream into frozen
+		// shards. Route through the deferral-aware path, which keeps (or
+		// recomputes) the pending rebuild.
+		st, _, err := x.applyBatchDeferred(batch, workers, x.deferThreshold)
+		return st, err
+	}
 	var agg pll.UpdateStats
 	if len(batch) == 0 {
 		return agg, nil
@@ -238,10 +249,15 @@ func (x *Sharded) ApplyBatch(batch []EdgeOp, workers int) (pll.UpdateStats, erro
 
 	tasks := x.reconcile(plan, &agg)
 	x.runBatchTasks(tasks, workers)
+	x.installTasks(tasks, &agg)
+	agg.Duration = time.Since(start)
+	return agg, nil
+}
 
-	// Install fresh shards and fold per-task stats; a stream that failed
-	// (unreachable short of index corruption) self-heals by rebuilding its
-	// shard's final components from the global graph.
+// installTasks installs fresh shards and folds per-task stats; a stream
+// that failed (unreachable short of index corruption) self-heals by
+// rebuilding its shard's final components from the global graph.
+func (x *Sharded) installTasks(tasks []*batchTask, agg *pll.UpdateStats) {
 	for _, t := range tasks {
 		if t.err != nil {
 			agg.EntriesRemoved += t.sh.idx.EntryCount()
@@ -264,10 +280,8 @@ func (x *Sharded) ApplyBatch(batch []EdgeOp, workers int) (pll.UpdateStats, erro
 			x.install(t.sh)
 			x.batchRebuilds++
 		}
-		accumulate(&agg, t.st)
+		accumulate(agg, t.st)
 	}
-	agg.Duration = time.Since(start)
-	return agg, nil
 }
 
 // batchGlobalSCCInserts bounds the per-edge scoped merge detection: up to

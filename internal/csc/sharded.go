@@ -45,6 +45,17 @@ type Sharded struct {
 
 	merges, splits int // scoped-rebuild counters (diagnostics)
 	batchRebuilds  int // fresh component builds performed by ApplyBatch
+
+	// Out-of-band rebuild state (deferred.go). stale marks shard slots
+	// frozen at their pre-deferral answers; pendingReb is the deferral
+	// that will replace them; deferThreshold remembers the last deferral
+	// threshold so per-op and plain-batch entry points stay sound while a
+	// deferral is pending.
+	stale                       map[int32]bool
+	pendingReb                  *Rebuild
+	gen                         uint64
+	deferThreshold              int
+	oobCompleted, oobSuperseded int
 }
 
 // shard is one non-trivial SCC: its member vertices (sorted ascending —
@@ -188,6 +199,13 @@ func (x *Sharded) CycleCountAll(workers int) (lengths []int, counts []uint64) {
 // its tail merges components and rebuilds exactly the merged one; any
 // other cross-component edge is recorded label-free.
 func (x *Sharded) InsertEdge(a, b int) (pll.UpdateStats, error) {
+	if x.pendingReb != nil {
+		// A deferral is pending: route through the deferral-aware batch
+		// path so frozen shards stay frozen and the pending region tracks
+		// this edge.
+		st, _, err := x.applyBatchDeferred([]EdgeOp{Ins(a, b)}, 1, x.deferThreshold)
+		return st, err
+	}
 	if err := x.g.AddEdge(a, b); err != nil {
 		return pll.UpdateStats{}, err
 	}
@@ -211,6 +229,10 @@ func (x *Sharded) InsertEdge(a, b int) (pll.UpdateStats, error) {
 // labels decrementally (component intact) or rebuilds the component's
 // surviving sub-components (component split).
 func (x *Sharded) DeleteEdge(a, b int) (pll.UpdateStats, error) {
+	if x.pendingReb != nil {
+		st, _, err := x.applyBatchDeferred([]EdgeOp{Del(a, b)}, 1, x.deferThreshold)
+		return st, err
+	}
 	if err := x.g.RemoveEdge(a, b); err != nil {
 		return pll.UpdateStats{}, err
 	}

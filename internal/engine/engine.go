@@ -17,7 +17,9 @@
 package engine
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -59,6 +61,62 @@ type Op struct {
 // ErrClosed is returned by operations on a closed engine.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrOverloaded is returned by enqueues under the reject admission
+// policy when the mailbox is full: the writer is saturated and the
+// caller should back off and retry (the HTTP layer maps it to 429 +
+// Retry-After).
+var ErrOverloaded = errors.New("engine: overloaded: update mailbox full")
+
+// ErrReadOnly is returned by enqueues while the engine is in read-only
+// degraded mode: a WAL append failed past its retry budget (or a
+// snapshot failed), so accepting updates would let served state run
+// ahead of what recovery can reconstruct. Reads keep serving; a
+// successful Snapshot heals the store and re-enables updates.
+var ErrReadOnly = errors.New("engine: read-only: durability lost, updates disabled until a successful snapshot")
+
+// AdmissionPolicy selects what an enqueue does when the update mailbox
+// is full.
+type AdmissionPolicy uint8
+
+const (
+	// AdmitBlock (the default) applies backpressure: the enqueue waits
+	// for mailbox space, bounded by its context's deadline/cancellation
+	// (plain Enqueue/Insert wait indefinitely, as before).
+	AdmitBlock AdmissionPolicy = iota
+	// AdmitReject fails fast with ErrOverloaded, leaving the retry
+	// decision to the caller.
+	AdmitReject
+	// AdmitShed drops the op, counts it in Stats.OpsShed, and reports
+	// success — for fire-and-forget telemetry streams where a lost
+	// transient update is cheaper than a stalled producer.
+	AdmitShed
+)
+
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case AdmitBlock:
+		return "block"
+	case AdmitReject:
+		return "reject"
+	case AdmitShed:
+		return "shed"
+	}
+	return "?"
+}
+
+// ParseAdmission maps a flag string (block | reject | shed) to a policy.
+func ParseAdmission(s string) (AdmissionPolicy, error) {
+	switch s {
+	case "", "block":
+		return AdmitBlock, nil
+	case "reject":
+		return AdmitReject, nil
+	case "shed":
+		return AdmitShed, nil
+	}
+	return AdmitBlock, fmt.Errorf("engine: unknown admission policy %q (want block, reject, or shed)", s)
+}
+
 // Options configures New/Open. The zero value gives serving defaults.
 type Options struct {
 	// MailboxSize is the update channel's buffer (default 4096). A full
@@ -90,6 +148,27 @@ type Options struct {
 	// way; the knob exists for the cold-vs-cached benchmark ablation and
 	// as an escape hatch (the cache costs 24 bytes per vertex).
 	NoCache bool
+	// Admission selects the full-mailbox behavior of every enqueue:
+	// block (backpressure, bounded by the caller's context), reject
+	// (ErrOverloaded), or shed (drop and count).
+	Admission AdmissionPolicy
+	// WALRetry bounds how many times a failed WAL append is retried —
+	// with doubling backoff from 1ms and a truncate-rollback between
+	// attempts, so a torn partial write never precedes the retried
+	// record — before the engine drops the batch and enters read-only
+	// degraded mode (ErrReadOnly on enqueues, reads unaffected). 0 means
+	// fail on the first error; read-only mode engages either way, and a
+	// successful Snapshot heals it.
+	WALRetry int
+	// OOBRebuildThreshold moves structural component rebuilds of at
+	// least this many vertices out of the writer's grace period: the
+	// batch commits its cheap intra-shard work immediately, affected
+	// shards keep serving their pre-batch (stale) answers, and the
+	// rebuild runs on a background goroutine and swaps in atomically
+	// when done (Stats.Degraded lists the stale shards meanwhile). 0
+	// disables deferral: every rebuild is inline, blocking the batch.
+	// Only the sharded index defers; the monolithic index ignores this.
+	OOBRebuildThreshold int
 }
 
 func (o *Options) fill() {
@@ -132,6 +211,24 @@ type Stats struct {
 	Snapshots    uint64 `json:"snapshots"`
 	WALBytes     int64  `json:"wal_bytes,omitempty"`
 	Err          string `json:"error,omitempty"`
+	// QueueDepth/MailboxCap describe writer saturation at snapshot time;
+	// OpsShed counts shed-policy drops, OpsOverload reject-policy
+	// rejections.
+	QueueDepth  int    `json:"queue_depth"`
+	MailboxCap  int    `json:"mailbox_cap"`
+	OpsShed     uint64 `json:"ops_shed,omitempty"`
+	OpsOverload uint64 `json:"ops_overload,omitempty"`
+	// WALRetries counts retried WAL appends; ReadOnly reports the
+	// durability-lost degraded mode (heals on a successful snapshot).
+	WALRetries uint64 `json:"wal_retries,omitempty"`
+	ReadOnly   bool   `json:"read_only,omitempty"`
+	// Degraded lists shard slots currently serving stale answers while an
+	// out-of-band rebuild is pending; OOBRebuilds counts completed
+	// background swaps, OOBSuperseded rebuilds discarded because later
+	// batches changed the pending region first.
+	Degraded      []int  `json:"degraded,omitempty"`
+	OOBRebuilds   uint64 `json:"oob_rebuilds,omitempty"`
+	OOBSuperseded uint64 `json:"oob_superseded,omitempty"`
 }
 
 // Engine serves one csc.Counter under the single-writer / many-reader
@@ -165,14 +262,32 @@ type Engine struct {
 	enqueued, applied   atomic.Uint64
 	coalesced, rejected atomic.Uint64
 	batches, snaps      atomic.Uint64
+	shed, overload      atomic.Uint64
+	walRetries          atomic.Uint64
 	walBytes            atomic.Int64
+
+	// readOnly is the durability-lost degraded mode: enqueues fail with
+	// ErrReadOnly, already-mailed ops are dropped (counted as rejected),
+	// reads keep serving. Set by the writer when a WAL append fails past
+	// its retry budget; cleared by a successful snapshot.
+	readOnly atomic.Bool
 
 	errMu sync.Mutex
 	errv  error // first durability error; nil again after a clean snapshot
 
+	// rebuilt carries finished out-of-band rebuilds back to the writer
+	// goroutine. Buffered one deep: at most one rebuild is ever running,
+	// so the background goroutine's send never blocks.
+	rebuilt chan *csc.Rebuild
+
 	// Writer-goroutine state.
 	pending   []Op
 	sinceSnap int
+	// oobInflight is the rebuild currently running on the background
+	// goroutine; oobNext the one queued behind it (a newer deferral
+	// supersedes anything queued, so one slot suffices).
+	oobInflight *csc.Rebuild
+	oobNext     *csc.Rebuild
 }
 
 type ctlReq struct {
@@ -193,7 +308,15 @@ func New(ix csc.Counter, opts Options) *Engine {
 // Every batch the returned engine applies is WAL-logged before it
 // mutates the index.
 func Open(dir string, bootstrap func() (csc.Counter, error), opts Options) (*Engine, error) {
-	st, err := OpenStore(dir)
+	return OpenIO(dir, OSIO, bootstrap, opts)
+}
+
+// OpenIO is Open with the store's filesystem behind an explicit StoreIO
+// — the injection point for the fault-injection harness, which wraps the
+// real filesystem to return errors, tear writes, and stall syncs on the
+// durability path.
+func OpenIO(dir string, sio StoreIO, bootstrap func() (csc.Counter, error), opts Options) (*Engine, error) {
+	st, err := OpenStoreIO(dir, sio)
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +343,7 @@ func start(ix csc.Counter, st *Store, seq uint64, opts Options) *Engine {
 		store:   st,
 		queries: make([]paddedCount, len(lock.shards)),
 		hits:    make([]paddedCount, len(lock.shards)),
+		rebuilt: make(chan *csc.Rebuild, 1),
 	}
 	if !opts.NoCache {
 		e.cache = newReadCache(e.n)
@@ -243,11 +367,16 @@ func (e *Engine) Index() csc.Counter { return e.ix }
 // Seq returns the sequence number of the last applied batch.
 func (e *Engine) Seq() uint64 { return e.seq.Load() }
 
+// ReadOnly reports whether the engine is in durability-lost degraded
+// mode: enqueues fail with ErrReadOnly, reads keep serving.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
 // Err returns the first WAL/snapshot error, if any. A non-nil error
-// means the engine keeps serving and applying in memory but durability
-// is suspended: no further WAL appends happen (a partial WAL with a
-// sequence gap would replay into silently wrong state), and only a
-// successful Snapshot — which persists the full current state and
+// means the engine is in read-only degraded mode: reads keep serving
+// the last durable state, but enqueues fail with ErrReadOnly and
+// already-mailed ops are dropped (counted in Stats.OpsRejected), so
+// served state never runs ahead of what recovery can reconstruct. Only
+// a successful Snapshot — which persists the full current state and
 // truncates the WAL — restores durability and clears the error.
 func (e *Engine) Err() error {
 	e.errMu.Lock()
@@ -318,6 +447,24 @@ func (e *Engine) readCached(v int, counted bool) (length int, count uint64) {
 	return length, count
 }
 
+// CycleCountCtx is CycleCount bounded by a context: a reader that would
+// otherwise wait out a long writer grace period (a wedged store can hold
+// lockAll open indefinitely) gives up with ctx.Err() when its deadline
+// passes. The no-cycle sentinel is returned alongside the error.
+func (e *Engine) CycleCountCtx(ctx context.Context, v int) (length int, count uint64, err error) {
+	if v < 0 || v >= e.n {
+		return bfscount.NoCycle, 0, nil
+	}
+	e.queries[uint32(v)&e.lock.mask].n.Add(1)
+	m, err := e.lock.rlockCtx(ctx, uint32(v))
+	if err != nil {
+		return bfscount.NoCycle, 0, err
+	}
+	length, count = e.readCached(v, true)
+	m.RUnlock()
+	return length, count, nil
+}
+
 // CycleCountBounded answers SCCnt(v) restricted to cycle lengths ≤
 // maxLen, concurrently with updates. A valid cached answer is filtered
 // against the bound in O(1); a miss runs the bounded join kernel without
@@ -339,6 +486,31 @@ func (e *Engine) CycleCountBounded(v, maxLen int) (length int, count uint64) {
 		}
 	}
 	return e.ix.CycleCountBounded(v, maxLen)
+}
+
+// CycleCountBoundedCtx is CycleCountBounded bounded by a context — the
+// same wedged-writer escape hatch as CycleCountCtx.
+func (e *Engine) CycleCountBoundedCtx(ctx context.Context, v, maxLen int) (length int, count uint64, err error) {
+	if v < 0 || v >= e.n {
+		return bfscount.NoCycle, 0, nil
+	}
+	e.queries[uint32(v)&e.lock.mask].n.Add(1)
+	m, err := e.lock.rlockCtx(ctx, uint32(v))
+	if err != nil {
+		return bfscount.NoCycle, 0, err
+	}
+	defer m.RUnlock()
+	if e.cache != nil {
+		if l, c, ok := e.cache.get(v); ok {
+			e.hits[uint32(v)&e.lock.mask].n.Add(1)
+			if l == bfscount.NoCycle || l > maxLen {
+				return bfscount.NoCycle, 0, nil
+			}
+			return l, c, nil
+		}
+	}
+	length, count = e.ix.CycleCountBounded(v, maxLen)
+	return length, count, nil
 }
 
 // CycleCountMany evaluates SCCnt for every vertex of vs into the caller's
@@ -375,29 +547,56 @@ func (q watchQuerier) CycleCountMany(vs []int, lengths []int, counts []uint64) {
 	}
 }
 
-// Insert enqueues an edge insertion. It blocks while the mailbox is full
-// (backpressure) and returns without waiting for the batch to apply; use
-// Flush for read-your-writes.
+// Insert enqueues an edge insertion. Under the default block policy it
+// waits while the mailbox is full (backpressure) and returns without
+// waiting for the batch to apply; use Flush for read-your-writes.
 func (e *Engine) Insert(a, b int) error { return e.EnqueueEdge(OpInsert, a, b) }
 
 // Delete enqueues an edge deletion.
 func (e *Engine) Delete(a, b int) error { return e.EnqueueEdge(OpDelete, a, b) }
+
+// InsertCtx is Insert bounded by a context: under the block policy a
+// full mailbox waits only until ctx is done, so a wedged writer (a
+// stalled store holding the batch open) cannot deadlock the caller.
+func (e *Engine) InsertCtx(ctx context.Context, a, b int) error {
+	return e.EnqueueEdgeCtx(ctx, OpInsert, a, b)
+}
+
+// DeleteCtx is Delete bounded by a context.
+func (e *Engine) DeleteCtx(ctx context.Context, a, b int) error {
+	return e.EnqueueEdgeCtx(ctx, OpDelete, a, b)
+}
 
 // EnqueueEdge validates full-width vertex ids and mails one op. The
 // range check runs before the Op's int32 narrowing, so an id ≥ 2³² from
 // an untrusted client is rejected instead of wrapping onto a small valid
 // vertex.
 func (e *Engine) EnqueueEdge(kind OpKind, a, b int) error {
+	return e.EnqueueEdgeCtx(context.Background(), kind, a, b)
+}
+
+// EnqueueEdgeCtx is EnqueueEdge bounded by a context.
+func (e *Engine) EnqueueEdgeCtx(ctx context.Context, kind OpKind, a, b int) error {
 	if a < 0 || a >= e.n || b < 0 || b >= e.n {
 		return graph.ErrVertexRange
 	}
-	return e.Enqueue(Op{Kind: kind, A: int32(a), B: int32(b)})
+	return e.EnqueueCtx(ctx, Op{Kind: kind, A: int32(a), B: int32(b)})
 }
 
 // Enqueue validates and mails one op. Redundant ops (inserting a present
 // edge, deleting an absent one, insert+delete pairs in the same batch)
 // are accepted here and coalesced away before the batch applies.
 func (e *Engine) Enqueue(op Op) error {
+	return e.EnqueueCtx(context.Background(), op)
+}
+
+// EnqueueCtx is Enqueue under the engine's admission policy, bounded by
+// the caller's context. Block waits for mailbox space until ctx is done
+// (a Background context waits indefinitely, as Enqueue always has);
+// reject fails fast with ErrOverloaded; shed drops the op, counts it,
+// and reports success. Stats.OpsEnqueued counts only ops that actually
+// entered the mailbox.
+func (e *Engine) EnqueueCtx(ctx context.Context, op Op) error {
 	if op.Kind != OpInsert && op.Kind != OpDelete {
 		return errors.New("engine: unknown op kind")
 	}
@@ -411,10 +610,35 @@ func (e *Engine) Enqueue(op Op) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	e.enqueued.Add(1)
+	if e.readOnly.Load() {
+		return ErrReadOnly
+	}
+	if e.opts.Admission != AdmitBlock {
+		select {
+		case e.mail <- op:
+			e.enqueued.Add(1)
+			return nil
+		case <-e.done:
+			return ErrClosed
+		default:
+		}
+		if e.opts.Admission == AdmitShed {
+			e.shed.Add(1)
+			return nil
+		}
+		e.overload.Add(1)
+		return ErrOverloaded
+	}
+	// Block policy: backpressure, bounded by ctx. A Background context's
+	// Done channel is nil, and a nil case never fires — so plain Enqueue
+	// keeps its wait-forever contract through the same select.
 	select {
 	case e.mail <- op:
+		e.enqueued.Add(1)
 		return nil
+	case <-ctx.Done():
+		e.overload.Add(1)
+		return ctx.Err()
 	case <-e.done:
 		return ErrClosed
 	}
@@ -435,6 +659,7 @@ func (e *Engine) Snapshot() error {
 func (e *Engine) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	err := e.do(func() error {
+		e.awaitRebuilds() // a stale shard must not be serialized
 		var werr error
 		n, werr = e.ix.WriteTo(w)
 		return werr
@@ -502,6 +727,12 @@ func (e *Engine) Stats() Stats {
 		Batches:      e.batches.Load(),
 		Seq:          e.seq.Load(),
 		Snapshots:    e.snaps.Load(),
+		QueueDepth:   len(e.mail),
+		MailboxCap:   cap(e.mail),
+		OpsShed:      e.shed.Load(),
+		OpsOverload:  e.overload.Load(),
+		WALRetries:   e.walRetries.Load(),
+		ReadOnly:     e.readOnly.Load(),
 	}
 	if e.store != nil {
 		st.WALBytes = e.walBytes.Load()
@@ -514,6 +745,17 @@ func (e *Engine) Stats() Stats {
 	st.Edges = e.ix.Graph().NumEdges()
 	st.Entries = e.ix.EntryCount()
 	st.LabelBytes = e.ix.Bytes()
+	// The sharded index exposes its out-of-band degradation state; the
+	// monolithic index has none and the fields stay zero. Reading under a
+	// stripe read-lock is enough: the writer only mutates these inside the
+	// full grace period.
+	if dx, ok := e.ix.(interface{ StaleShards() []int }); ok {
+		st.Degraded = dx.StaleShards()
+	}
+	if ox, ok := e.ix.(interface{ OOBRebuilds() (int, int) }); ok {
+		c, s := ox.OOBRebuilds()
+		st.OOBRebuilds, st.OOBSuperseded = uint64(c), uint64(s)
+	}
 	m.RUnlock()
 	return st
 }
@@ -568,6 +810,8 @@ func (e *Engine) run() {
 			timer = nil
 			timerC = nil
 			e.applyPending()
+		case r := <-e.rebuilt:
+			e.finishRebuild(r)
 		case req := <-e.ctl:
 			flushAll()
 			var err error
@@ -577,6 +821,7 @@ func (e *Engine) run() {
 			req.ack <- err
 		case <-e.quit:
 			flushAll()
+			e.awaitRebuilds()
 			if e.store != nil {
 				if err := e.store.Close(); err != nil {
 					e.setErr(err)
@@ -605,6 +850,14 @@ func (e *Engine) applyPending() {
 	if len(e.pending) == 0 {
 		return
 	}
+	if e.readOnly.Load() {
+		// Read-only degraded mode: ops that were mailed before the mode
+		// engaged are dropped (counted as rejected) instead of applied, so
+		// served state stays equal to the durable prefix.
+		e.rejected.Add(uint64(len(e.pending)))
+		e.pending = e.pending[:0]
+		return
+	}
 	batch := e.coalesce()
 	e.coalesced.Add(uint64(len(e.pending) - len(batch)))
 	e.pending = e.pending[:0]
@@ -612,13 +865,17 @@ func (e *Engine) applyPending() {
 		return
 	}
 	seq := e.seq.Load() + 1
-	// Once a WAL write has failed, stop appending: a WAL with a sequence
-	// gap would replay into silently wrong state, which is worse than an
-	// honestly suspended log (Err is surfaced; a successful Snapshot
-	// resumes durability from a clean base).
-	if e.store != nil && e.Err() == nil {
-		if err := e.store.Append(seq, batch); err != nil {
+	if e.store != nil {
+		if err := e.appendWithRetry(seq, batch); err != nil {
+			// Durability lost past the retry budget: drop the batch and
+			// enter read-only mode rather than applying in memory — state
+			// that recovery cannot reconstruct must never be served. A
+			// successful Snapshot heals the store and re-enables updates.
 			e.setErr(err)
+			e.readOnly.Store(true)
+			e.rejected.Add(uint64(len(batch)))
+			e.walBytes.Store(e.store.WALBytes())
+			return
 		}
 		e.walBytes.Store(e.store.WALBytes())
 	}
@@ -634,10 +891,39 @@ func (e *Engine) applyPending() {
 	}
 	if e.store != nil && e.opts.SnapshotEvery > 0 {
 		e.sinceSnap++
-		if e.sinceSnap >= e.opts.SnapshotEvery {
+		// Periodic snapshots wait out any pending out-of-band rebuild
+		// (serializing a stale shard would persist its pre-batch labels),
+		// so skip the cadence while one is in flight rather than stall the
+		// writer; sinceSnap keeps accumulating and the next quiet batch
+		// triggers it.
+		if e.sinceSnap >= e.opts.SnapshotEvery && e.oobInflight == nil && e.oobNext == nil {
 			_ = e.snapshotNow()
 		}
 	}
+}
+
+// appendWithRetry appends one WAL record, retrying up to Options.WALRetry
+// times with doubling backoff from 1ms. Between attempts the WAL is
+// rolled back to its pre-append length: a failed attempt may have left a
+// partial record on disk, and a retried record written after that tear
+// would make replay silently truncate it away as the torn tail.
+func (e *Engine) appendWithRetry(seq uint64, batch []Op) error {
+	start := e.store.WALBytes()
+	err := e.store.Append(seq, batch)
+	for attempt := 0; err != nil && attempt < e.opts.WALRetry; attempt++ {
+		if terr := e.store.truncateTo(start); terr != nil {
+			return err // cannot roll back the tear, so cannot retry safely
+		}
+		e.walRetries.Add(1)
+		time.Sleep(time.Millisecond << min(attempt, 8))
+		err = e.store.Append(seq, batch)
+	}
+	if err != nil {
+		// Leave the WAL at a clean record boundary so a later healed store
+		// does not append after a torn partial write.
+		_ = e.store.truncateTo(start)
+	}
+	return err
 }
 
 // coalesce reduces pending to its net effect against the live graph:
@@ -702,20 +988,124 @@ func batchOps(batch []Op) []csc.EdgeOp {
 // value.
 func (e *Engine) apply(batch []Op, seq uint64) []int {
 	e.lock.lockAll()
-	st, err := e.ix.ApplyBatch(batchOps(batch), e.opts.UpdateWorkers)
+	var st pll.UpdateStats
+	var err error
+	var pending *csc.Rebuild
+	sx, sharded := e.ix.(*csc.Sharded)
+	oob := sharded && e.opts.OOBRebuildThreshold > 0
+	if oob {
+		st, pending, err = sx.ApplyBatchDeferred(batchOps(batch), e.opts.UpdateWorkers, e.opts.OOBRebuildThreshold)
+	} else {
+		st, err = e.ix.ApplyBatch(batchOps(batch), e.opts.UpdateWorkers)
+	}
 	if err != nil {
 		// Coalescing computed the batch against the live graph, so a
 		// rejected batch is unreachable short of index corruption. Fall
 		// back to per-op application so one bad op cannot take the whole
 		// batch down with it.
 		st = e.applyPerOp(batch)
+		if oob {
+			pending = sx.PendingRebuild()
+		}
 	}
 	dirty := csc.DirtyVertices(st)
 	if e.cache != nil {
 		e.cache.invalidate(dirty, seq)
 	}
 	e.lock.unlockAll()
+	if oob {
+		e.scheduleRebuild(pending)
+	}
 	return dirty
+}
+
+// scheduleRebuild reconciles the writer's rebuild slots with the index's
+// pending deferral after a batch. pending is one of: nil (nothing
+// deferred, or the previous deferral dissolved — a flapped bridge edge
+// re-inserted before its rebuild ran owes no rebuild at all), the
+// rebuild already running in the background (the batch left it current),
+// or a new deferral that supersedes whatever was queued.
+func (e *Engine) scheduleRebuild(pending *csc.Rebuild) {
+	if pending != nil && pending == e.oobInflight {
+		e.oobNext = nil
+		return
+	}
+	e.oobNext = pending
+	e.maybeStartRebuild()
+}
+
+// maybeStartRebuild hands the queued deferral to a background goroutine.
+// At most one rebuild runs at a time, so the goroutine's send into the
+// 1-buffered rebuilt channel can never block.
+func (e *Engine) maybeStartRebuild() {
+	if e.oobInflight != nil || e.oobNext == nil {
+		return
+	}
+	r := e.oobNext
+	e.oobNext = nil
+	e.oobInflight = r
+	workers := e.opts.UpdateWorkers
+	go func() {
+		r.Run(workers)
+		e.rebuilt <- r
+	}()
+}
+
+// finishRebuild swaps a finished out-of-band rebuild into the index
+// under a grace period. The swap changes answers for the rebuilt region
+// without a WAL record of its own — every edge behind it is already
+// logged — so it bumps the sequence number purely as a cache epoch (the
+// WAL tolerates the gap: replay only requires increasing sequence
+// numbers). A rebuild superseded while it ran is discarded here by the
+// index (CompleteRebuild reports false) and the still-pending deferral,
+// if any, has already been queued by the superseding batch.
+func (e *Engine) finishRebuild(r *csc.Rebuild) {
+	e.oobInflight = nil
+	sx, ok := e.ix.(*csc.Sharded)
+	if !ok {
+		return
+	}
+	seq := e.seq.Load() + 1
+	e.lock.lockAll()
+	st, installed := sx.CompleteRebuild(r)
+	var dirty []int
+	if installed {
+		dirty = csc.DirtyVertices(st)
+		if e.cache != nil {
+			e.cache.invalidate(dirty, seq)
+		}
+		e.seq.Store(seq)
+	}
+	e.lock.unlockAll()
+	if installed && len(dirty) > 0 {
+		// The swap is a batch commit as far as consumers are concerned:
+		// the top-k monitor must rescore the now-fresh region. No ops to
+		// report — the edges were already in earlier batches' hooks.
+		e.hookMu.Lock()
+		hooks := e.hooks
+		e.hookMu.Unlock()
+		for _, h := range hooks {
+			h(nil, dirty)
+		}
+	}
+	e.maybeStartRebuild()
+}
+
+// awaitRebuilds runs on the writer goroutine and completes every pending
+// out-of-band rebuild synchronously — the barrier before operations that
+// must see a fully fresh index (snapshots, WriteTo, close).
+func (e *Engine) awaitRebuilds() {
+	e.maybeStartRebuild()
+	for e.oobInflight != nil {
+		e.finishRebuild(<-e.rebuilt)
+	}
+}
+
+// WaitRebuilds flushes the mailbox and blocks until no out-of-band
+// rebuild is pending: every shard serves fresh answers afterward (until
+// the next deferring batch). The quiesce point for tests and benchmarks.
+func (e *Engine) WaitRebuilds() error {
+	return e.do(func() error { e.awaitRebuilds(); return nil })
 }
 
 // applyPerOp is the degraded path behind apply: one edge at a time,
@@ -750,15 +1140,23 @@ func (e *Engine) snapshotNow() error {
 	if e.store == nil {
 		return errors.New("engine: no store configured")
 	}
+	// A pending out-of-band rebuild must land first: serializing a stale
+	// shard would persist pre-batch labels that disagree with the graph.
+	e.awaitRebuilds()
 	if err := e.store.WriteSnapshot(e.seq.Load(), e.ix); err != nil {
+		// A half-done snapshot cannot be trusted to leave the WAL in an
+		// appendable state (the failure may have struck mid-reset), so
+		// degrade to read-only rather than risk appending after a tear.
 		e.setErr(err)
+		e.readOnly.Store(true)
 		return err
 	}
 	e.walBytes.Store(e.store.WALBytes())
 	e.sinceSnap = 0
 	e.snaps.Add(1)
 	// The snapshot persisted the complete current state and truncated the
-	// WAL, so a durability suspension (failed earlier append) is healed.
+	// WAL, so a durability loss (failed earlier append) is healed.
 	e.clearErr()
+	e.readOnly.Store(false)
 	return nil
 }

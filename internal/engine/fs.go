@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// StoreIO is the filesystem seam under the Store: every byte the
+// durability path reads or writes goes through one of these methods.
+// Production uses OSIO (thin os wrappers); tests substitute a
+// fault-injecting implementation (internal/faultstore) to script write
+// errors, torn tails, fsync latency, and crash points into the exact
+// WAL/snapshot boundary they target. Implementations must be safe for
+// use from the engine's writer goroutine plus Recover at open time —
+// the Store itself never calls them concurrently.
+type StoreIO interface {
+	// MkdirAll creates the store directory (os.MkdirAll semantics).
+	MkdirAll(dir string, perm os.FileMode) error
+	// OpenFile opens the WAL for read/write, creating it if absent.
+	OpenFile(name string, flag int, perm os.FileMode) (StoreFile, error)
+	// Create truncate-creates a file (snapshot temp files).
+	Create(name string) (StoreFile, error)
+	// Open opens a file (or directory, for dir fsync) read-only.
+	Open(name string) (StoreFile, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+}
+
+// StoreFile is the file handle surface the Store needs. *os.File
+// satisfies it directly.
+type StoreFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Fd() uintptr
+}
+
+// OSIO is the production StoreIO: direct os calls.
+var OSIO StoreIO = osIO{}
+
+type osIO struct{}
+
+func (osIO) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osIO) OpenFile(name string, flag int, perm os.FileMode) (StoreFile, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osIO) Create(name string) (StoreFile, error) { return os.Create(name) }
+
+func (osIO) Open(name string) (StoreFile, error) { return os.Open(name) }
+
+func (osIO) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// flockExclusive takes the non-blocking exclusive advisory lock OpenStore
+// relies on for single-writer stores. Split out so wrapped files (fault
+// injection) lock the same underlying descriptor.
+func flockExclusive(f StoreFile) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

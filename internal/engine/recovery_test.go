@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
 
+	"repro/internal/bfscount"
 	"repro/internal/csc"
 	"repro/internal/graph"
 	"repro/internal/order"
@@ -186,11 +188,11 @@ func TestTimerFlushIsDurable(t *testing.T) {
 	}
 }
 
-// A failed WAL append suspends durability instead of leaving a sequence
-// gap: later batches still apply in memory but are not logged, Err
-// surfaces the failure, and what is on disk stays a valid (if stale)
-// prefix of history.
-func TestWALFailureSuspendsDurability(t *testing.T) {
+// A failed WAL append degrades the engine to read-only instead of
+// letting served state run ahead of the log: the failing batch is
+// dropped, later enqueues fail with ErrReadOnly, reads keep serving the
+// durable prefix, and what is on disk stays a valid prefix of history.
+func TestWALFailureDegradesReadOnly(t *testing.T) {
 	dir := t.TempDir()
 	e, err := Open(dir, emptyIndex(6), Options{FlushInterval: -1})
 	if err != nil {
@@ -205,22 +207,29 @@ func TestWALFailureSuspendsDurability(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := e.Insert(1, 2); err != nil {
-		t.Fatal(err)
+		t.Fatal(err) // enqueue itself still succeeds; the flush fails
 	}
 	e.Flush()
 	if e.Err() == nil {
 		t.Fatal("failed append did not surface via Err")
 	}
-	// Later batches keep applying in memory, silently skipping the WAL.
-	if err := e.Insert(2, 3); err != nil {
-		t.Fatal(err)
+	if !e.ReadOnly() {
+		t.Fatal("failed append did not enter read-only mode")
 	}
-	e.Flush()
-	if !e.Index().Graph().HasEdge(2, 3) {
-		t.Fatal("in-memory apply stopped after WAL failure")
+	// The unloggable batch was dropped, not applied in memory: served
+	// state must stay equal to what recovery can reconstruct.
+	if e.Index().Graph().HasEdge(1, 2) {
+		t.Fatal("unlogged batch applied in memory")
 	}
-	if e.Err() == nil {
-		t.Fatal("durability error cleared without a successful snapshot")
+	if got := e.Stats().OpsRejected; got != 1 {
+		t.Fatalf("dropped op not counted rejected: got %d, want 1", got)
+	}
+	// Later enqueues are refused outright; reads keep serving.
+	if err := e.Insert(2, 3); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("enqueue in read-only mode: err %v, want ErrReadOnly", err)
+	}
+	if l, _ := e.CycleCount(0); l != bfscount.NoCycle {
+		t.Fatalf("read in read-only mode: length %d", l)
 	}
 	_ = e.Close() // store already broken; the error is expected
 

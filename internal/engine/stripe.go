@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 )
 
@@ -57,6 +59,30 @@ func (l *stripedRW) rlock(h uint32) *sync.RWMutex {
 	m := &l.shards[h&l.mask].RWMutex
 	m.RLock()
 	return m
+}
+
+// rlockCtx is rlock bounded by a context: a reader that would otherwise
+// wait out a long writer grace period (a wedged store stalling the
+// writer mid-lockAll) gives up when its deadline passes. RWMutex has no
+// native timed acquire, so this spins on TryRLock with a short sleep —
+// the lock is only ever held against readers for the duration of a
+// batch apply, so the poll loop is cold in practice.
+func (l *stripedRW) rlockCtx(ctx context.Context, h uint32) (*sync.RWMutex, error) {
+	m := &l.shards[h&l.mask].RWMutex
+	if m.TryRLock() {
+		return m, nil
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		if m.TryRLock() {
+			return m, nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
 }
 
 // lockAll begins the writer's grace period: after it returns, every

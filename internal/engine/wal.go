@@ -10,7 +10,6 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
-	"syscall"
 
 	"repro/internal/csc"
 )
@@ -62,7 +61,8 @@ var (
 // writer goroutine only.
 type Store struct {
 	dir      string
-	wal      *os.File
+	io       StoreIO
+	wal      StoreFile
 	walBytes int64
 	scratch  bytes.Buffer
 }
@@ -74,18 +74,24 @@ type Store struct {
 // released when the file closes — including by process death, which is
 // what makes kill-and-restart safe. Call Recover to load the state.
 func OpenStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenStoreIO(dir, OSIO)
+}
+
+// OpenStoreIO is OpenStore with the filesystem behind an explicit StoreIO
+// — the injection point for the fault-injection harness.
+func OpenStoreIO(dir string, sio StoreIO) (*Store, error) {
+	if err := sio.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := sio.OpenFile(filepath.Join(dir, walFile), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+	if err := flockExclusive(f); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("engine: store %s is locked by another process: %w", dir, err)
 	}
-	return &Store{dir: dir, wal: f}, nil
+	return &Store{dir: dir, io: sio, wal: f}, nil
 }
 
 // Dir returns the store directory.
@@ -121,7 +127,7 @@ func (s *Store) Recover(bootstrap func() (csc.Counter, error)) (csc.Counter, uin
 
 // loadSnapshot returns (nil, 0, nil) when no snapshot file exists.
 func (s *Store) loadSnapshot() (csc.Counter, uint64, error) {
-	f, err := os.Open(filepath.Join(s.dir, snapshotFile))
+	f, err := s.io.Open(filepath.Join(s.dir, snapshotFile))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, 0, nil
 	}
@@ -284,6 +290,21 @@ func (s *Store) Append(seq uint64, batch []Op) error {
 	return s.wal.Sync()
 }
 
+// truncateTo rolls the WAL back to off bytes — the rollback between
+// Append retries. A failed append may have left a partial record on
+// disk; retrying after it would put a torn record mid-WAL, and replay
+// would silently truncate every acknowledged batch behind it.
+func (s *Store) truncateTo(off int64) error {
+	if err := s.wal.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	s.walBytes = off
+	return nil
+}
+
 // WriteSnapshot persists the full index at the given sequence number
 // (atomically, via a temp file and rename) and then truncates the WAL:
 // recovery from the new snapshot no longer needs the logged batches. A
@@ -292,7 +313,7 @@ func (s *Store) Append(seq uint64, batch []Op) error {
 func (s *Store) WriteSnapshot(seq uint64, ix csc.Counter) error {
 	path := filepath.Join(s.dir, snapshotFile)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := s.io.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -314,10 +335,10 @@ func (s *Store) WriteSnapshot(seq uint64, ix csc.Counter) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := s.io.Rename(tmp, path); err != nil {
 		return err
 	}
-	if d, err := os.Open(s.dir); err == nil {
+	if d, err := s.io.Open(s.dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
 	}

@@ -52,10 +52,15 @@ type BenchResult struct {
 	// (updates.go).
 	Update *UpdateThroughputRow `json:"update,omitempty"`
 
-	// Query is set on the QRY-* rows the suite appends last: the
-	// read-path experiment — cold vs cached serving throughput and
-	// dirty-rescore vs full-rescore top-k maintenance (queries.go).
+	// Query is set on the QRY-* rows the suite appends after the UPD-*
+	// rows: the read-path experiment — cold vs cached serving throughput
+	// and dirty-rescore vs full-rescore top-k maintenance (queries.go).
 	Query *QueryThroughputRow `json:"query,omitempty"`
+
+	// Churn is set on the CHURN-* rows the suite appends last: read-tail
+	// latency under structural churn, inline rebuilds vs out-of-band
+	// deferral (churn.go).
+	Churn *ChurnRow `json:"churn,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -187,6 +192,18 @@ func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 			N:          row.N,
 			M:          row.M,
 			Query:      &row,
+		})
+	}
+	for _, row := range Churn(s) {
+		row := row
+		out = append(out, BenchResult{
+			Dataset:    "CHURN-" + row.Family,
+			Scale:      s.String(),
+			Workers:    Workers,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			N:          row.N,
+			M:          row.M,
+			Churn:      &row,
 		})
 	}
 	return out

@@ -1,0 +1,276 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfscount"
+	"repro/internal/csc"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// ChurnArm is one engine configuration's half of the structural-churn
+// experiment: read-latency percentiles sampled by concurrent readers
+// while a writer flaps a bridge edge whose every transition merges or
+// splits the graph's dominant component.
+//
+// Readers are low-rate latency probes, not closed-loop load: each
+// sleeps churnProbeEvery between reads and times one read. A probe
+// arriving while the writer holds the stripe locks measures the
+// residual lock-hold time — so the percentiles read as the latency
+// distribution an independently-arriving client sees, with the
+// probability of landing in a rebuild stall reflected proportionally.
+// A free-running reader would instead record hundreds of thousands of
+// nanosecond reads between rebuilds and exactly one sample per
+// multi-millisecond stall, hiding the cliff below the p99 mark.
+type ChurnArm struct {
+	Threshold  int     `json:"oob_threshold"` // 0 = inline rebuilds
+	Flaps      int     `json:"flaps"`
+	Reads      int     `json:"reads"`
+	WallNS     int64   `json:"wall_ns"` // writer wall-clock for the flap loop
+	P50NS      int64   `json:"read_p50_ns"`
+	P99NS      int64   `json:"read_p99_ns"`
+	P999NS     int64   `json:"read_p999_ns"`
+	MaxNS      int64   `json:"read_max_ns"`
+	FlapsPerS  float64 `json:"flaps_per_sec"`
+	Rebuilds   uint64  `json:"oob_rebuilds"`
+	Superseded uint64  `json:"oob_superseded"`
+}
+
+// ChurnRow is one family's row of the churn experiment (`cscbench -exp
+// churn`, the CHURN-* rows of BENCH_*.json): the same flap protocol
+// driven against an inline-rebuild engine and an out-of-band one, with
+// the tail-latency improvement the OOB path buys.
+type ChurnRow struct {
+	Family  string   `json:"family"`
+	N       int      `json:"n"`
+	M       int      `json:"m"`
+	Readers int      `json:"readers"`
+	Inline  ChurnArm `json:"inline"`
+	OOB     ChurnArm `json:"oob"`
+	// P99Improvement = inline p99 / OOB p99: how much of the rebuild
+	// cliff the stale-read window shaves off the read tail.
+	P99Improvement float64 `json:"p99_improvement"`
+}
+
+// dumbbell builds the churn family: two independently chorded strongly
+// connected halves of h vertices each, tied into one 2h-vertex SCC by
+// the bridge pair (h-1 -> h, 2h-1 -> 0). Deleting the forward bridge
+// splits the giant component in half; re-inserting it merges the halves
+// back — the worst-case structural flap for an inline-rebuild engine.
+func dumbbell(h, chords int, seed int64) *graph.Digraph {
+	g := graph.New(2 * h)
+	for k := 0; k < h; k++ {
+		mustAdd(g, k, (k+1)%h)
+		mustAdd(g, h+k, h+(k+1)%h)
+	}
+	r := rand.New(rand.NewSource(seed))
+	for _, base := range []int{0, h} {
+		for c := 0; c < chords; {
+			u, v := base+r.Intn(h), base+r.Intn(h)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			mustAdd(g, u, v)
+			c++
+		}
+	}
+	mustAdd(g, h-1, h)
+	mustAdd(g, 2*h-1, 0)
+	return g
+}
+
+func mustAdd(g *graph.Digraph, u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// churnParams sizes the dumbbell so one inline rebuild of the merged
+// component outlasts the runtime's ~10ms async-preemption quantum. On a
+// single-core machine that is what guarantees sleeping probes get
+// scheduled *inside* the lock-held window; with shorter rebuilds the
+// probes only ever wake after the lock drops and the stall vanishes
+// from the sample set.
+func churnParams(s Scale) (h, chords, flaps, readers int) {
+	switch s {
+	case Tiny:
+		return 400, 900, 30, 2
+	case Small:
+		return 700, 1700, 40, 4
+	default:
+		return 1000, 2500, 60, 4
+	}
+}
+
+// churnFlapEvery is the writer's flap interval: a fixed churn rate, so
+// both arms run the same protocol over comparable wall-clock. The
+// inline arm falls behind the tick when rebuilds outlast the interval;
+// that lag is the experiment's point, not a flaw. churnProbeEvery is
+// the readers' probe interval (see the ChurnArm doc).
+const (
+	churnFlapEvery  = time.Millisecond
+	churnProbeEvery = 200 * time.Microsecond
+)
+
+// churnArm runs the flap protocol against one engine configuration and
+// reports the latency profile the readers saw. At quiesce the served
+// answers are cross-checked against the indexless BFS oracle.
+func churnArm(g *graph.Digraph, threshold, flaps, readers int) ChurnArm {
+	x, _ := csc.BuildSharded(g.Clone(), csc.Options{Workers: Workers})
+	e := engine.New(x, engine.Options{
+		FlushInterval:       -1,
+		OOBRebuildThreshold: threshold,
+	})
+	h := g.NumVertices() / 2
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	samples := make([][]int64, readers)
+	for ri := 0; ri < readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			var buf []int64
+			v := ri
+			for !stop.Load() {
+				time.Sleep(churnProbeEvery)
+				t0 := time.Now()
+				e.CycleCount(v % (2 * h))
+				buf = append(buf, time.Since(t0).Nanoseconds())
+				v += 13 // odd stride: walk every vertex, spread across stripes
+			}
+			samples[ri] = buf
+		}(ri)
+	}
+
+	t0 := time.Now()
+	wnext := t0
+	for i := 0; i < flaps; i++ {
+		if d := time.Until(wnext); d > 0 {
+			time.Sleep(d)
+		}
+		if err := e.Delete(h-1, h); err != nil {
+			panic(err)
+		}
+		e.Flush()
+		if err := e.Insert(h-1, h); err != nil {
+			panic(err)
+		}
+		e.Flush()
+		wnext = wnext.Add(churnFlapEvery)
+	}
+	wall := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+
+	if err := e.WaitRebuilds(); err != nil {
+		panic(err)
+	}
+	// The flap sequence is net-zero: the quiesced engine must answer
+	// exactly like a BFS on the original graph.
+	for v := 0; v < 2*h; v += 13 {
+		wl, wc := bfscount.CycleCount(g, v)
+		gl, gc := e.CycleCount(v)
+		if gl != wl || gc != wc {
+			panic(fmt.Sprintf("exp: churn threshold=%d vertex %d: engine (%d,%d) != oracle (%d,%d)",
+				threshold, v, gl, gc, wl, wc))
+		}
+	}
+	st := e.Stats()
+	if err := e.Close(); err != nil {
+		panic(err)
+	}
+
+	var all []int64
+	for _, buf := range samples {
+		all = append(all, buf...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	arm := ChurnArm{
+		Threshold:  threshold,
+		Flaps:      flaps,
+		Reads:      len(all),
+		WallNS:     wall.Nanoseconds(),
+		P50NS:      percentileNS(all, 0.50),
+		P99NS:      percentileNS(all, 0.99),
+		P999NS:     percentileNS(all, 0.999),
+		Rebuilds:   st.OOBRebuilds,
+		Superseded: st.OOBSuperseded,
+	}
+	if len(all) > 0 {
+		arm.MaxNS = all[len(all)-1]
+	}
+	if wall > 0 {
+		arm.FlapsPerS = float64(flaps) / wall.Seconds()
+	}
+	return arm
+}
+
+func percentileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// churnOOBThreshold picks the OOB arm's deferral threshold: far below
+// the half size, so every bridge flap defers.
+func churnOOBThreshold(h int) int { return h / 4 }
+
+// Churn runs the overload-resilience experiment: the same bridge-flap
+// protocol against an inline-rebuild engine (threshold 0, every flap
+// rebuilds the giant component under the write lock) and an out-of-band
+// one (flaps defer; readers ride the stale window). The reported
+// improvement is the read-path p99 ratio between the arms.
+func Churn(s Scale) []ChurnRow {
+	h, chords, flaps, readers := churnParams(s)
+	g := dumbbell(h, chords, 31)
+	row := ChurnRow{
+		Family:  "dumbbell",
+		N:       g.NumVertices(),
+		M:       g.NumEdges(),
+		Readers: readers,
+	}
+	row.Inline = churnArm(g, 0, flaps, readers)
+	row.OOB = churnArm(g, churnOOBThreshold(h), flaps, readers)
+	if row.OOB.P99NS > 0 {
+		row.P99Improvement = float64(row.Inline.P99NS) / float64(row.OOB.P99NS)
+	}
+	return []ChurnRow{row}
+}
+
+// WriteChurn renders the churn experiment as a prose table.
+func WriteChurn(w io.Writer, rows []ChurnRow) error {
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s (n=%d m=%d, %d readers)\n", r.Family, r.N, r.M, r.Readers); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %-8s %6s %9s | %10s %10s %10s %10s | %9s %8s %8s\n",
+			"arm", "thresh", "reads", "p50", "p99", "p99.9", "max", "flaps/s", "rebuilds", "supers"); err != nil {
+			return err
+		}
+		for _, a := range []struct {
+			name string
+			arm  ChurnArm
+		}{{"inline", r.Inline}, {"oob", r.OOB}} {
+			if _, err := fmt.Fprintf(w, "  %-8s %6d %9d | %10s %10s %10s %10s | %9.0f %8d %8d\n",
+				a.name, a.arm.Threshold, a.arm.Reads,
+				time.Duration(a.arm.P50NS), time.Duration(a.arm.P99NS),
+				time.Duration(a.arm.P999NS), time.Duration(a.arm.MaxNS),
+				a.arm.FlapsPerS, a.arm.Rebuilds, a.arm.Superseded); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "  p99 improvement: %.1fx\n\n", r.P99Improvement); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDatasetsRegistry(t *testing.T) {
@@ -347,6 +348,53 @@ func TestQueryThroughputExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "many-small-scc") || !strings.Contains(buf.String(), "cached-q/s") {
+		t.Fatal("table missing expected content")
+	}
+}
+
+// TestChurnExperiment is the overload-resilience acceptance gate: under
+// the bridge-flap protocol the out-of-band arm must cut the read-path
+// p99 by at least 2x against inline rebuilds (the CHURN-* rows in
+// BENCH_*.json come straight from these), both arms must quiesce to
+// oracle-identical answers (churnArm panics otherwise), and the inline
+// arm must report zero out-of-band activity.
+func TestChurnExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn experiment is not -short")
+	}
+	if raceEnabled {
+		// Wall-clock ratio gates are meaningless on an instrumented
+		// binary (see TestUpdateThroughputExperiment).
+		t.Skip("timing gate is not meaningful under -race")
+	}
+	rows := Churn(Tiny)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.N == 0 || r.M == 0 || r.Readers == 0 {
+		t.Fatalf("degenerate row %+v", r)
+	}
+	for _, a := range []ChurnArm{r.Inline, r.OOB} {
+		if a.Reads == 0 || a.Flaps == 0 || a.P50NS <= 0 || a.P99NS < a.P50NS {
+			t.Fatalf("degenerate arm %+v", a)
+		}
+	}
+	if r.Inline.Threshold != 0 || r.Inline.Rebuilds != 0 || r.Inline.Superseded != 0 {
+		t.Fatalf("inline arm ran out-of-band rebuilds: %+v", r.Inline)
+	}
+	if r.OOB.Threshold <= 0 {
+		t.Fatalf("OOB arm threshold %d", r.OOB.Threshold)
+	}
+	if r.P99Improvement < 2 {
+		t.Fatalf("OOB p99 improvement %.2fx < 2x: inline %v vs oob %v",
+			r.P99Improvement, time.Duration(r.Inline.P99NS), time.Duration(r.OOB.P99NS))
+	}
+	var buf bytes.Buffer
+	if err := WriteChurn(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dumbbell") || !strings.Contains(buf.String(), "p99 improvement") {
 		t.Fatal("table missing expected content")
 	}
 }

@@ -1,0 +1,326 @@
+// Package faultstore is a fault-injecting engine.StoreIO: it wraps the
+// real filesystem and deterministically injects write errors, torn
+// tails, fsync latency, and crash points into the exact WAL/snapshot
+// boundary a test targets. It exists because the durability path's
+// hardest bugs live at boundaries a unit test never crosses naturally —
+// the byte between two WAL records, the instant after a snapshot rename
+// but before the WAL reset — and the only way to pin recovery behavior
+// at every such boundary is to script the failure.
+//
+// Every filesystem touch the Store makes maps to a named Point
+// ("wal.write", "snap.rename", ...). Each Point keeps a hit counter;
+// a Fault matches a Point from its Nth hit on. A matched fault can
+// return an error, write only a prefix of the bytes first (TornBytes),
+// sleep (Delay — latency injection without an error), or Crash: freeze
+// the store so this and every later operation fails without touching
+// disk, exactly what a process killed at that boundary would have left
+// behind. Reopening the directory with the real filesystem then
+// exercises recovery against that precise on-disk state.
+package faultstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Point names one filesystem touch point of the durability path, as
+// "<file>.<op>": the WAL file's writes, syncs, and truncations, and the
+// snapshot path's create/write/sync/rename.
+type Point string
+
+// The injectable points. Reads are not injectable: recovery always runs
+// against the real filesystem.
+const (
+	WALWrite    Point = "wal.write"
+	WALSync     Point = "wal.sync"
+	WALTruncate Point = "wal.truncate"
+	SnapCreate  Point = "snap.create"
+	SnapWrite   Point = "snap.write"
+	SnapSync    Point = "snap.sync"
+	SnapRename  Point = "snap.rename"
+)
+
+var (
+	// ErrInjected is the default error a matched fault returns.
+	ErrInjected = errors.New("faultstore: injected fault")
+	// ErrCrashed is returned by every operation after a Crash fault
+	// fired: the simulated process is dead, nothing reaches the disk.
+	ErrCrashed = errors.New("faultstore: crashed")
+)
+
+// Fault is one scripted failure. The zero Point never matches.
+type Fault struct {
+	// Point selects the touch point.
+	Point Point
+	// Nth is the 1-based hit of Point the fault first fires on
+	// (0 behaves as 1: fire from the first hit).
+	Nth int
+	// Times bounds how many consecutive hits fire (0 = every hit from
+	// Nth on — a sticky fault, e.g. a disk that stays broken).
+	Times int
+	// Err is the error to return (ErrInjected when nil).
+	Err error
+	// TornBytes, on a write point, writes only that many bytes of the
+	// payload to the real file before failing — a torn tail.
+	TornBytes int
+	// Delay sleeps before the operation. With no Err/Crash the operation
+	// then proceeds normally: pure latency injection (a hanging fsync).
+	Delay time.Duration
+	// Crash freezes the store at this boundary: the matched operation
+	// does not execute (beyond TornBytes, if set) and every later
+	// operation returns ErrCrashed without touching disk.
+	Crash bool
+}
+
+// IO is the fault-injecting StoreIO. Wrap it around engine.OSIO, hand
+// it to engine.OpenIO, and script faults with Inject — before or during
+// the run; all methods are safe under concurrency.
+type IO struct {
+	inner engine.StoreIO
+
+	mu      sync.Mutex
+	hits    map[Point]int
+	faults  []Fault
+	crashed bool
+}
+
+// Wrap returns a fault-injecting IO over inner.
+func Wrap(inner engine.StoreIO) *IO {
+	return &IO{inner: inner, hits: make(map[Point]int)}
+}
+
+// New returns a fault-injecting IO over the real filesystem.
+func New() *IO { return Wrap(engine.OSIO) }
+
+// Inject adds one scripted fault.
+func (w *IO) Inject(f Fault) {
+	w.mu.Lock()
+	w.faults = append(w.faults, f)
+	w.mu.Unlock()
+}
+
+// Clear removes every scripted fault (hit counters and crash state are
+// kept): the disk is healthy again.
+func (w *IO) Clear() {
+	w.mu.Lock()
+	w.faults = nil
+	w.mu.Unlock()
+}
+
+// Hits returns how many times the point has been touched so far —
+// including touches that were failed by a fault. A counting run with no
+// faults injected enumerates the crash-point space for a workload.
+func (w *IO) Hits(p Point) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hits[p]
+}
+
+// Crashed reports whether a Crash fault has fired.
+func (w *IO) Crashed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.crashed
+}
+
+// at registers one hit of p and resolves it against the script. torn is
+// the byte prefix a failing write should still land (-1: none).
+func (w *IO) at(p Point) (torn int, err error) {
+	w.mu.Lock()
+	if w.crashed {
+		w.mu.Unlock()
+		return -1, ErrCrashed
+	}
+	w.hits[p]++
+	n := w.hits[p]
+	var delay time.Duration
+	var match *Fault
+	for i := range w.faults {
+		f := &w.faults[i]
+		if f.Point != p {
+			continue
+		}
+		nth := f.Nth
+		if nth <= 0 {
+			nth = 1
+		}
+		if n < nth || (f.Times > 0 && n >= nth+f.Times) {
+			continue
+		}
+		delay += f.Delay
+		if f.Err != nil || f.Crash || f.TornBytes > 0 {
+			match = f
+			break
+		}
+	}
+	torn = -1
+	if match != nil {
+		if match.Crash {
+			w.crashed = true
+			err = ErrCrashed
+		} else if err = match.Err; err == nil {
+			err = ErrInjected
+		}
+		if match.TornBytes > 0 {
+			torn = match.TornBytes
+		}
+	}
+	w.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return torn, err
+}
+
+// kindOf classifies a path into the point-name prefix: the WAL file,
+// the snapshot (and its temp file), or anything else (the store
+// directory opened for dir fsync) which is never injected.
+func kindOf(name string) string {
+	base := filepath.Base(name)
+	switch {
+	case strings.HasPrefix(base, "wal."):
+		return "wal"
+	case strings.HasPrefix(base, "snapshot."):
+		return "snap"
+	}
+	return ""
+}
+
+func (w *IO) MkdirAll(dir string, perm os.FileMode) error {
+	if w.Crashed() {
+		return ErrCrashed
+	}
+	return w.inner.MkdirAll(dir, perm)
+}
+
+func (w *IO) OpenFile(name string, flag int, perm os.FileMode) (engine.StoreFile, error) {
+	if w.Crashed() {
+		return nil, ErrCrashed
+	}
+	f, err := w.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: f, kind: kindOf(name), io: w}, nil
+}
+
+func (w *IO) Create(name string) (engine.StoreFile, error) {
+	if kindOf(name) == "snap" {
+		if _, err := w.at(SnapCreate); err != nil {
+			return nil, err
+		}
+	} else if w.Crashed() {
+		return nil, ErrCrashed
+	}
+	f, err := w.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: f, kind: kindOf(name), io: w}, nil
+}
+
+func (w *IO) Open(name string) (engine.StoreFile, error) {
+	if w.Crashed() {
+		return nil, ErrCrashed
+	}
+	f, err := w.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: f, kind: kindOf(name), io: w}, nil
+}
+
+func (w *IO) Rename(oldpath, newpath string) error {
+	if kindOf(newpath) == "snap" {
+		if _, err := w.at(SnapRename); err != nil {
+			return err
+		}
+	} else if w.Crashed() {
+		return ErrCrashed
+	}
+	return w.inner.Rename(oldpath, newpath)
+}
+
+// file wraps one StoreFile, routing its writes, syncs, and truncations
+// through the fault script. Reads and seeks pass through (short of a
+// crash): replay at open time is not a failure surface under test.
+type file struct {
+	inner engine.StoreFile
+	kind  string
+	io    *IO
+}
+
+// point maps this file's operation to its Point, or "" when the file is
+// not injectable (the store directory handle).
+func (f *file) point(op string) Point {
+	if f.kind == "" {
+		return ""
+	}
+	return Point(f.kind + "." + op)
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	if pt := f.point("write"); pt != "" {
+		torn, err := f.io.at(pt)
+		if err != nil {
+			if torn >= 0 && torn < len(p) {
+				n, _ := f.inner.Write(p[:torn])
+				_ = f.inner.Sync() // make the torn prefix the durable state
+				return n, err
+			}
+			return 0, err
+		}
+	} else if f.io.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Write(p)
+}
+
+func (f *file) Sync() error {
+	if pt := f.point("sync"); pt != "" {
+		if _, err := f.io.at(pt); err != nil {
+			return err
+		}
+	} else if f.io.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) Truncate(size int64) error {
+	if pt := f.point("truncate"); pt != "" {
+		if _, err := f.io.at(pt); err != nil {
+			return err
+		}
+	} else if f.io.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *file) Read(p []byte) (int, error) {
+	if f.io.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Read(p)
+}
+
+func (f *file) Seek(offset int64, whence int) (int64, error) {
+	if f.io.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Seek(offset, whence)
+}
+
+// Close always reaches the real file, even crashed: the test harness
+// must be able to release the WAL flock to reopen the directory.
+func (f *file) Close() error { return f.inner.Close() }
+
+// Fd passes through: the WAL flock locks the real descriptor.
+func (f *file) Fd() uintptr { return f.inner.Fd() }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package faultstore
+
+const raceEnabled = false

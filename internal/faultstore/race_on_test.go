@@ -1,0 +1,7 @@
+//go:build race
+
+package faultstore
+
+// raceEnabled reports whether this test binary runs under the race
+// detector; the stress test shrinks its workload accordingly.
+const raceEnabled = true

@@ -12,16 +12,28 @@
 //	POST   /edges         enqueue a batch of insertions
 //	DELETE /edges         enqueue a batch of deletions
 //	GET    /stats         engine counters + uptime
-//	GET    /healthz       liveness (503 once durability failed)
+//	GET    /healthz       health: ok | degraded | overloaded
 //
 // Edge batches are {"edges": [[a,b], ...]}; add ?flush=1 to wait until
 // the batch is applied (read-your-writes). Responses carry per-edge
 // rejections for out-of-range or self-loop pairs; redundant ops are
 // accepted and coalesced away by the engine.
+//
+// Every handler is bounded by its request context: a query or enqueue
+// against a wedged writer returns when the client's deadline passes
+// instead of holding the connection forever. Overload maps to 429 and
+// read-only degradation to 503, both with Retry-After, so well-behaved
+// clients back off instead of piling on. /healthz is liveness by
+// default — it always answers 200 with a machine-readable status, since
+// a degraded-but-serving process must not be restarted into a worse
+// outage — and becomes a readiness probe with ?ready=1, answering 503
+// for any non-ok status so load balancers drain the instance.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -57,11 +69,26 @@ type EdgeError struct {
 	Error string `json:"error"`
 }
 
-// EdgesResponse is the /edges response body.
+// EdgesResponse is the /edges response body. On a 429/503 Error is set
+// and Enqueued counts the prefix that made it in before admission cut
+// the batch off.
 type EdgesResponse struct {
 	Enqueued int         `json:"enqueued"`
 	Rejected []EdgeError `json:"rejected,omitempty"`
 	Flushed  bool        `json:"flushed,omitempty"`
+	Error    string      `json:"error,omitempty"`
+}
+
+// HealthJSON is the /healthz response body.
+type HealthJSON struct {
+	// Status is ok, degraded (read-only durability loss or stale shards
+	// pending an out-of-band rebuild), or overloaded (mailbox full).
+	Status     string `json:"status"`
+	ReadOnly   bool   `json:"read_only,omitempty"`
+	Degraded   []int  `json:"degraded,omitempty"`
+	QueueDepth int    `json:"queue_depth"`
+	MailboxCap int    `json:"mailbox_cap"`
+	Err        string `json:"error,omitempty"`
 }
 
 // StatsJSON is the /stats response body.
@@ -115,14 +142,19 @@ func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
 	var l int
 	var c uint64
 	if raw := r.URL.Query().Get("maxlen"); raw != "" {
-		maxLen, err := strconv.Atoi(raw)
-		if err != nil || maxLen < 1 {
+		maxLen, perr := strconv.Atoi(raw)
+		if perr != nil || maxLen < 1 {
 			writeErr(w, http.StatusBadRequest, "maxlen %q is not a positive integer", raw)
 			return
 		}
-		l, c = s.e.CycleCountBounded(v, maxLen)
+		l, c, err = s.e.CycleCountBoundedCtx(r.Context(), v, maxLen)
 	} else {
-		l, c = s.e.CycleCount(v)
+		l, c, err = s.e.CycleCountCtx(r.Context(), v)
+	}
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "query gave up waiting for the writer: %v", err)
+		return
 	}
 	out := CycleJSON{Vertex: v}
 	if l != bfscount.NoCycle {
@@ -159,13 +191,33 @@ func (s *server) edges(kind engine.OpKind) http.HandlerFunc {
 			return
 		}
 		var resp EdgesResponse
-		for _, e := range req.Edges {
-			err := s.e.EnqueueEdge(kind, e[0], e[1])
-			if err != nil {
-				resp.Rejected = append(resp.Rejected, EdgeError{Edge: e, Error: err.Error()})
-				continue
+		for _, eg := range req.Edges {
+			err := s.e.EnqueueEdgeCtx(r.Context(), kind, eg[0], eg[1])
+			switch {
+			case err == nil:
+				resp.Enqueued++
+			case errors.Is(err, engine.ErrOverloaded):
+				// Writer saturated under the reject policy: cut the batch
+				// off and tell the client to back off. Enqueued reports the
+				// prefix that made it in.
+				resp.Error = err.Error()
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, resp)
+				return
+			case errors.Is(err, engine.ErrReadOnly):
+				resp.Error = err.Error()
+				w.Header().Set("Retry-After", "5")
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+				return
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				// Block policy, mailbox full past the request's deadline.
+				resp.Error = "writer saturated: " + err.Error()
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, resp)
+				return
+			default:
+				resp.Rejected = append(resp.Rejected, EdgeError{Edge: eg, Error: err.Error()})
 			}
-			resp.Enqueued++
 		}
 		if flush, _ := strconv.ParseBool(r.URL.Query().Get("flush")); flush {
 			s.e.Flush()
@@ -184,9 +236,24 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	if err := s.e.Err(); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "durability lost: %v", err)
-		return
+	st := s.e.Stats()
+	h := HealthJSON{
+		Status:     "ok",
+		ReadOnly:   st.ReadOnly,
+		Degraded:   st.Degraded,
+		QueueDepth: st.QueueDepth,
+		MailboxCap: st.MailboxCap,
+		Err:        st.Err,
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	switch {
+	case st.ReadOnly || st.Err != "" || len(st.Degraded) > 0:
+		h.Status = "degraded"
+	case st.QueueDepth >= st.MailboxCap:
+		h.Status = "overloaded"
+	}
+	code := http.StatusOK
+	if ready, _ := strconv.ParseBool(r.URL.Query().Get("ready")); ready && h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
