@@ -13,6 +13,8 @@
 //	curl -X POST   localhost:8337/edges?flush=1 -d '{"edges":[[1,2],[2,1]]}'
 //	curl -X DELETE localhost:8337/edges -d '{"edges":[[1,2]]}'
 //	curl localhost:8337/stats
+//	curl localhost:8337/metrics
+//	curl localhost:8337/debug/trace
 //
 // With -data, every applied batch is fsynced to a write-ahead log before
 // it touches the index and full snapshots are taken periodically, so a
@@ -38,21 +40,25 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8337", "HTTP listen address")
-		data     = flag.String("data", "", "store directory for WAL + snapshots (empty: in-memory only)")
-		graphIn  = flag.String("graph", "", "bootstrap graph file (\"n m\" + \"u v\" edge-list format)")
-		vertices = flag.Int("vertices", 0, "bootstrap an empty graph with this many vertices (when -graph is unset)")
-		topK     = flag.Int("k", 0, "maintain a top-k cycle-count watchlist and serve /top")
-		maxBatch = flag.Int("max-batch", 256, "max update ops applied per grace period")
-		flushInt = flag.Duration("flush-interval", 2*time.Millisecond, "max time a partial batch waits before applying")
-		mailbox  = flag.Int("mailbox", 4096, "update mailbox capacity (full = backpressure)")
-		snapshot = flag.Int("snapshot-every", 64, "batches between full snapshots (with -data)")
-		workers  = flag.Int("workers", 0, "build/warm parallelism (0 = all cores)")
-		updWork  = flag.Int("update-workers", 0, "batch-apply parallelism: per-shard update streams per batch (0 = all cores, 1 = sequential)")
-		noCache  = flag.Bool("no-read-cache", false, "disable the per-vertex result cache (every /cycle read re-joins labels)")
-		admit    = flag.String("admission", "block", "full-mailbox policy: block (backpressure), reject (429), shed (drop + count)")
-		oobReb   = flag.Int("oob-rebuild-threshold", 0, "defer structural shard rebuilds of at least this many vertices off the write path (0 = always inline)")
-		walRetry = flag.Int("wal-retry", 3, "WAL append retries before degrading to read-only (with -data)")
+		addr      = flag.String("addr", ":8337", "HTTP listen address")
+		data      = flag.String("data", "", "store directory for WAL + snapshots (empty: in-memory only)")
+		graphIn   = flag.String("graph", "", "bootstrap graph file (\"n m\" + \"u v\" edge-list format)")
+		vertices  = flag.Int("vertices", 0, "bootstrap an empty graph with this many vertices (when -graph is unset)")
+		topK      = flag.Int("k", 0, "maintain a top-k cycle-count watchlist and serve /top")
+		maxBatch  = flag.Int("max-batch", 256, "max update ops applied per grace period")
+		flushInt  = flag.Duration("flush-interval", 2*time.Millisecond, "max time a partial batch waits before applying")
+		mailbox   = flag.Int("mailbox", 4096, "update mailbox capacity (full = backpressure)")
+		snapshot  = flag.Int("snapshot-every", 64, "batches between full snapshots (with -data)")
+		workers   = flag.Int("workers", 0, "build/warm parallelism (0 = all cores)")
+		updWork   = flag.Int("update-workers", 0, "batch-apply parallelism: per-shard update streams per batch (0 = all cores, 1 = sequential)")
+		noCache   = flag.Bool("no-read-cache", false, "disable the per-vertex result cache (every /cycle read re-joins labels)")
+		admit     = flag.String("admission", "block", "full-mailbox policy: block (backpressure), reject (429), shed (drop + count)")
+		oobReb    = flag.Int("oob-rebuild-threshold", 0, "defer structural shard rebuilds of at least this many vertices off the write path (0 = always inline)")
+		walRetry  = flag.Int("wal-retry", 3, "WAL append retries before degrading to read-only (with -data)")
+		noMetrics = flag.Bool("no-metrics", false, "disable the /metrics + /debug/trace observability surface")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		accessLog = flag.String("access-log", "", "append one JSON line per HTTP request to this file (\"-\" = stdout)")
+		slowQuery = flag.Duration("slow-query", 0, "log /cycle reads at or above this duration as slow, with the queried vertex (0 = off)")
 	)
 	flag.Parse()
 
@@ -99,6 +105,27 @@ func main() {
 	}
 	if *noCache {
 		opts = append(opts, cyclehub.WithoutReadCache())
+	}
+	if !*noMetrics {
+		opts = append(opts, cyclehub.WithMetrics())
+	}
+	if *pprofOn {
+		opts = append(opts, cyclehub.WithPprof())
+	}
+	if *slowQuery > 0 {
+		opts = append(opts, cyclehub.WithSlowQueryThreshold(*slowQuery))
+	}
+	if *accessLog != "" {
+		out := os.Stdout
+		if *accessLog != "-" {
+			f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("cscd: open access log: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		opts = append(opts, cyclehub.WithAccessLog(out))
 	}
 
 	var eng *cyclehub.Engine

@@ -1,0 +1,214 @@
+// Command promcheck validates Prometheus text exposition format 0.0.4,
+// as served by cscd's /metrics: CI pipes a live scrape through it to
+// catch a malformed exposition before a real scraper would.
+//
+//	curl -s localhost:8337/metrics | promcheck
+//	promcheck metrics.txt
+//
+// Checked invariants:
+//
+//   - every family (# TYPE) is declared exactly once
+//   - every sample line belongs to the family declared above it
+//   - sample values parse as numbers
+//   - histogram buckets are cumulative (non-decreasing counts over
+//     strictly increasing le bounds, per label set), end at le="+Inf",
+//     and agree with the series' _count
+//
+// Exit status 0 when the input passes, 1 with a diagnostic per
+// violation otherwise.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	errs := check(in)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "promcheck: %s\n", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: ok")
+}
+
+// histSeries accumulates one histogram label set's bucket chain.
+type histSeries struct {
+	lastVal float64
+	lastLE  float64
+	inf     float64
+	hasInf  bool
+	count   float64
+	hasCnt  bool
+}
+
+func check(in io.Reader) []string {
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+	families := map[string]string{} // name -> type
+	hists := map[string]*histSeries{}
+	cur := ""
+	lineNo := 0
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				fail("line %d: malformed TYPE: %q", lineNo, line)
+				continue
+			}
+			name, typ := f[2], f[3]
+			if _, dup := families[name]; dup {
+				fail("line %d: duplicate family %q", lineNo, name)
+			}
+			families[name] = typ
+			cur = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			fail("line %d: sample without value: %q", lineNo, line)
+			continue
+		}
+		val, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			fail("line %d: bad value %q", lineNo, fields[len(fields)-1])
+			continue
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if families[cur] == "histogram" && strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+				break
+			}
+		}
+		if cur == "" || base != cur {
+			fail("line %d: sample %q outside its TYPE block (current family %q)", lineNo, name, cur)
+			continue
+		}
+
+		if families[cur] != "histogram" {
+			continue
+		}
+		key := base + stripLE(line)
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, ok := leOf(line)
+			if !ok {
+				fail("line %d: bucket without le: %q", lineNo, line)
+				continue
+			}
+			h := hists[key]
+			if h == nil {
+				h = &histSeries{lastVal: -1, lastLE: math.Inf(-1)}
+				hists[key] = h
+			}
+			if le <= h.lastLE {
+				fail("line %d: le %v not increasing (prev %v)", lineNo, le, h.lastLE)
+			}
+			if val < h.lastVal {
+				fail("line %d: bucket count %v decreased (prev %v)", lineNo, val, h.lastVal)
+			}
+			h.lastLE, h.lastVal = le, val
+			if math.IsInf(le, 1) {
+				h.inf, h.hasInf = val, true
+			}
+		case strings.HasSuffix(name, "_count"):
+			h := hists[key]
+			if h == nil {
+				h = &histSeries{lastVal: -1, lastLE: math.Inf(-1)}
+				hists[key] = h
+			}
+			h.count, h.hasCnt = val, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("read: %v", err)
+	}
+	for key, h := range hists {
+		if !h.hasInf {
+			fail("histogram %s: no le=\"+Inf\" bucket", key)
+		}
+		if h.hasInf && h.hasCnt && h.count != h.inf {
+			fail("histogram %s: _count %v != +Inf bucket %v", key, h.count, h.inf)
+		}
+	}
+	return errs
+}
+
+// leOf extracts the le label of a bucket line.
+func leOf(line string) (float64, bool) {
+	i := strings.Index(line, `le="`)
+	if i < 0 {
+		return 0, false
+	}
+	rest := line[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	raw := rest[:j]
+	if raw == "+Inf" {
+		return math.Inf(1), true
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// stripLE returns the line's label set, sorted, with le removed — the
+// identity of one histogram series across its bucket chain.
+func stripLE(line string) string {
+	i := strings.IndexByte(line, '{')
+	if i < 0 {
+		return "{}"
+	}
+	j := strings.LastIndexByte(line, '}')
+	if j < i {
+		return "{}"
+	}
+	var labels []string
+	for _, l := range strings.Split(line[i+1:j], ",") {
+		if !strings.HasPrefix(l, "le=") {
+			labels = append(labels, l)
+		}
+	}
+	sort.Strings(labels)
+	return "{" + strings.Join(labels, ",") + "}"
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const valid = `# HELP cscd_queries_total Total queries.
+# TYPE cscd_queries_total counter
+cscd_queries_total 10
+# HELP cscd_query_seconds Query latency.
+# TYPE cscd_query_seconds histogram
+cscd_query_seconds_bucket{le="0.001"} 3
+cscd_query_seconds_bucket{le="0.01"} 9
+cscd_query_seconds_bucket{le="+Inf"} 10
+cscd_query_seconds_sum 0.5
+cscd_query_seconds_count 10
+`
+
+func TestValid(t *testing.T) {
+	if errs := check(strings.NewReader(valid)); len(errs) != 0 {
+		t.Fatalf("valid exposition rejected: %v", errs)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"duplicate family",
+			"# TYPE a counter\na 1\n# TYPE a counter\na 2\n",
+			"duplicate family"},
+		{"orphan sample",
+			"# TYPE a counter\nb 1\n",
+			"outside its TYPE block"},
+		{"non-monotone buckets",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"decreased"},
+		{"le not increasing",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"not increasing"},
+		{"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n",
+			"+Inf"},
+		{"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 2\n",
+			"!= +Inf bucket"},
+		{"bad value",
+			"# TYPE a counter\na zebra\n",
+			"bad value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check(strings.NewReader(tc.input))
+			if len(errs) == 0 {
+				t.Fatal("violation not detected")
+			}
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error mentioning %q in %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+// TestVecSeries: two label sets of one HistogramVec interleave in the
+// family block; each chain is validated independently.
+func TestVecSeries(t *testing.T) {
+	input := `# TYPE h histogram
+h_bucket{route="a",le="1"} 1
+h_bucket{route="a",le="+Inf"} 2
+h_sum{route="a"} 1.5
+h_count{route="a"} 2
+h_bucket{route="b",le="1"} 7
+h_bucket{route="b",le="+Inf"} 7
+h_sum{route="b"} 3
+h_count{route="b"} 7
+`
+	if errs := check(strings.NewReader(input)); len(errs) != 0 {
+		t.Fatalf("vec exposition rejected: %v", errs)
+	}
+}

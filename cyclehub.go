@@ -41,6 +41,7 @@ package cyclehub
 import (
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/bfscount"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/order"
 	"repro/internal/pll"
 	"repro/internal/serve"
@@ -332,15 +334,23 @@ type Engine struct {
 	e     *engine.Engine
 	watch *monitor.TopK
 	k     int
+
+	// HTTP observability configuration, consumed by the (memoized)
+	// Handler. The handler registers its per-route latency histograms into
+	// the engine's metrics registry, so it must be built exactly once.
+	httpOpts    serve.Options
+	handlerOnce sync.Once
+	handler     http.Handler
 }
 
 // EngineOption configures NewEngine and OpenEngine.
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	opts engine.Options
-	dir  string
-	topK int
+	opts     engine.Options
+	dir      string
+	topK     int
+	httpOpts serve.Options
 }
 
 // WithWAL enables durability: every applied batch is fsynced to a
@@ -432,6 +442,37 @@ func WithOOBRebuildThreshold(n int) EngineOption {
 	return func(c *engineConfig) { c.opts.OOBRebuildThreshold = n }
 }
 
+// WithMetrics enables the engine's observability layer: a metrics
+// registry (latency histograms, counters, per-shard gauges) served by
+// the Handler's GET /metrics in Prometheus text exposition format, and
+// a ring of batch-lifecycle traces served by GET /debug/trace. The
+// /stats counters are the same atomic words the registry scrapes, so
+// the two surfaces cannot drift. Cache-hit reads execute no
+// instrumentation at all; the overhead on cold reads is one clock pair
+// per label join.
+func WithMetrics() EngineOption {
+	return func(c *engineConfig) { c.opts.Metrics = obs.New() }
+}
+
+// WithAccessLog writes one JSON line per completed HTTP request
+// (timestamp, request id, method, path, matched route, status,
+// duration, bytes) to w. Writes are serialized by the handler.
+func WithAccessLog(w io.Writer) EngineOption {
+	return func(c *engineConfig) { c.httpOpts.AccessLog = w }
+}
+
+// WithSlowQueryThreshold flags /cycle reads at or above d: the access
+// line is marked slow and carries the queried vertex, and is emitted
+// even without WithAccessLog (to stderr). 0 disables.
+func WithSlowQueryThreshold(d time.Duration) EngineOption {
+	return func(c *engineConfig) { c.httpOpts.SlowQuery = d }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the Handler.
+func WithPprof() EngineOption {
+	return func(c *engineConfig) { c.httpOpts.Pprof = true }
+}
+
 // WithUpdateWorkers sets how many goroutines the writer uses to apply
 // each coalesced batch (0 = all cores, 1 = sequential). The default
 // sharded index plans every batch per strongly connected component and
@@ -483,7 +524,7 @@ func buildEngine(bootstrap func() (*Index, error), options []EngineOption) (*Eng
 		}
 		core = engine.New(ix.x, cfg.opts)
 	}
-	e := &Engine{e: core, k: cfg.topK}
+	e := &Engine{e: core, k: cfg.topK, httpOpts: cfg.httpOpts}
 	if cfg.topK > 0 {
 		e.watch = core.WatchTopK(cfg.topK)
 	}
@@ -622,8 +663,15 @@ func (e *Engine) WriteTo(w io.Writer) (int64, error) { return e.e.WriteTo(w) }
 
 // Handler returns the engine's HTTP+JSON API — the same surface the cscd
 // daemon listens on (GET /cycle/{v}, GET /top, POST and DELETE /edges,
-// GET /stats, GET /healthz; see internal/serve for the wire format).
-func (e *Engine) Handler() http.Handler { return serve.Handler(e.e, e.watch, e.k) }
+// GET /stats, GET /healthz, plus GET /metrics and GET /debug/trace with
+// WithMetrics; see internal/serve for the wire format). The handler is
+// built once and memoized: repeat calls return the same handler.
+func (e *Engine) Handler() http.Handler {
+	e.handlerOnce.Do(func() {
+		e.handler = serve.NewHandler(e.e, e.watch, e.k, e.httpOpts)
+	})
+	return e.handler
+}
 
 // CycleCountBFS answers SCCnt(v) without an index by the paper's BFS
 // baseline (Algorithm 1) in O(n+m) time. Useful for one-off queries or

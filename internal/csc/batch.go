@@ -234,6 +234,7 @@ func (x *Sharded) ApplyBatch(batch []EdgeOp, workers int) (pll.UpdateStats, erro
 	// Classify against the pre-batch table, then move the global graph to
 	// its final state up front: every partition question below is asked of
 	// the final edge set, once, instead of once per edge.
+	planStart := time.Now()
 	plan := x.planBatch(batch)
 	for _, op := range batch {
 		var err error
@@ -248,8 +249,11 @@ func (x *Sharded) ApplyBatch(batch []EdgeOp, workers int) (pll.UpdateStats, erro
 	}
 
 	tasks := x.reconcile(plan, &agg)
+	agg.PlanDuration = time.Since(planStart)
+	buildStart := time.Now()
 	x.runBatchTasks(tasks, workers)
 	x.installTasks(tasks, &agg)
+	agg.BuildDuration = time.Since(buildStart)
 	agg.Duration = time.Since(start)
 	return agg, nil
 }

@@ -49,7 +49,16 @@ type Rebuild struct {
 	region map[int32]struct{} // every vertex the deferral covers
 	opts   Options
 	built  []*shard // filled by Run
+
+	// frozenAt is when the deferral's shards froze — inherited across
+	// supersessions, so it anchors the full stale window a reader could
+	// have observed, not just the latest recomputation's.
+	frozenAt time.Time
 }
+
+// FrozenAt is when the deferral's shards began serving stale answers
+// (the start of the freeze→swap window observability reports).
+func (r *Rebuild) FrozenAt() time.Time { return r.frozenAt }
 
 // Gen is the deferral generation this rebuild belongs to (diagnostics;
 // superseding is decided by identity, not generation).
@@ -167,6 +176,7 @@ func (x *Sharded) applyBatchDeferred(batch []EdgeOp, workers, threshold int) (pl
 		return agg, x.pendingReb, nil
 	}
 
+	planStart := time.Now()
 	plan := x.planBatchDeferred(batch)
 	for _, op := range batch {
 		var err error
@@ -181,8 +191,11 @@ func (x *Sharded) applyBatchDeferred(batch []EdgeOp, workers, threshold int) (pl
 	}
 
 	tasks, pending := x.reconcileDeferred(plan, &agg, threshold)
+	agg.PlanDuration = time.Since(planStart)
+	buildStart := time.Now()
 	x.runBatchTasks(tasks, workers)
 	x.installTasks(tasks, &agg)
+	agg.BuildDuration = time.Since(buildStart)
 	agg.Duration = time.Since(start)
 	return agg, pending, nil
 }
@@ -360,7 +373,11 @@ func (x *Sharded) reconcileDeferred(plan batchPlan, agg *pll.UpdateStats, thresh
 		return tasks, nil
 	}
 	x.gen++
-	reb := &Rebuild{gen: x.gen, opts: x.opts, region: make(map[int32]struct{})}
+	frozenAt := time.Now()
+	if x.pendingReb != nil && !x.pendingReb.frozenAt.IsZero() {
+		frozenAt = x.pendingReb.frozenAt
+	}
+	reb := &Rebuild{gen: x.gen, opts: x.opts, region: make(map[int32]struct{}), frozenAt: frozenAt}
 	var ids []int32
 	for c := range deferred {
 		ids = append(ids, c)

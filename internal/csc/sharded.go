@@ -46,6 +46,12 @@ type Sharded struct {
 	merges, splits int // scoped-rebuild counters (diagnostics)
 	batchRebuilds  int // fresh component builds performed by ApplyBatch
 
+	// slotRebuilds counts fresh installs per shard slot (grown lazily —
+	// slots past its length have seen none). Slot reuse is deliberate:
+	// the per-shard gauge tracks churn at the serving slot, which is the
+	// granularity /metrics exposes.
+	slotRebuilds []uint64
+
 	// Out-of-band rebuild state (deferred.go). stale marks shard slots
 	// frozen at their pre-deferral answers; pendingReb is the deferral
 	// that will replace them; deferThreshold remembers the last deferral
@@ -335,6 +341,10 @@ func (x *Sharded) install(sh *shard) {
 		x.shardOf[v] = s
 		x.localID[v] = int32(li)
 	}
+	for int(s) >= len(x.slotRebuilds) {
+		x.slotRebuilds = append(x.slotRebuilds, 0)
+	}
+	x.slotRebuilds[s]++
 }
 
 // translateOwners rewrites a shard-local update's touched owners (Gb
@@ -431,6 +441,40 @@ func (x *Sharded) TrivialVertices() int {
 // Rebuilds reports how many scoped rebuilds dynamic updates triggered:
 // component merges (insertions) and splits (deletions).
 func (x *Sharded) Rebuilds() (merges, splits int) { return x.merges, x.splits }
+
+// ShardStat is one live shard's footprint for per-shard gauges.
+type ShardStat struct {
+	Slot       int    // serving slot id
+	Vertices   int    // member vertices
+	Entries    int    // label entries
+	LabelBytes int    // label footprint (8 bytes per entry)
+	Rebuilds   uint64 // fresh installs this slot has served
+	Stale      bool   // frozen, serving pre-deferral answers
+}
+
+// ShardStats reports every live shard's footprint, ordered by slot —
+// the scrape-time source for per-shard metrics.
+func (x *Sharded) ShardStats() []ShardStat {
+	out := make([]ShardStat, 0, len(x.shards))
+	for si, sh := range x.shards {
+		if sh == nil {
+			continue
+		}
+		entries := sh.idx.EntryCount()
+		st := ShardStat{
+			Slot:       si,
+			Vertices:   len(sh.verts),
+			Entries:    entries,
+			LabelBytes: 8 * entries,
+			Stale:      x.stale[int32(si)],
+		}
+		if si < len(x.slotRebuilds) {
+			st.Rebuilds = x.slotRebuilds[si]
+		}
+		out = append(out, st)
+	}
+	return out
+}
 
 // ShardOf returns the shard slot serving v, or -1 for trivial vertices
 // (tests and diagnostics).

@@ -29,6 +29,7 @@ import (
 	"repro/internal/csc"
 	"repro/internal/graph"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/pll"
 )
 
@@ -160,6 +161,18 @@ type Options struct {
 	// fail on the first error; read-only mode engages either way, and a
 	// successful Snapshot heals it.
 	WALRetry int
+	// Metrics is the observability registry the engine registers its
+	// metric surface into (obs.go): counters and gauges func-backed over
+	// the same words /stats reads, plus query/batch/WAL latency
+	// histograms. Nil disables registration — the engine still counts
+	// (Stats works), but serves no /metrics families and records no
+	// latencies. One registry serves one engine.
+	Metrics *obs.Registry
+	// TraceRingSize bounds the batch-lifecycle trace ring behind
+	// /debug/trace: 0 keeps the default (64 entries, only when Metrics is
+	// set), > 0 forces a ring of that depth even without metrics, < 0
+	// disables tracing.
+	TraceRingSize int
 	// OOBRebuildThreshold moves structural component rebuilds of at
 	// least this many vertices out of the writer's grace period: the
 	// batch commits its cheap intra-shard work immediately, affected
@@ -258,13 +271,27 @@ type Engine struct {
 	// vertices; every other slot keeps serving O(1) reads.
 	cache *readCache
 
+	// Engine counters are obs.Counters — standalone atomic words that
+	// need no registry (Stats always works) and double as the func-backed
+	// source of the /metrics families, so the two surfaces read the same
+	// words and cannot drift (obs.go).
 	queries, hits       []paddedCount // striped like the lock shards
-	enqueued, applied   atomic.Uint64
-	coalesced, rejected atomic.Uint64
-	batches, snaps      atomic.Uint64
-	shed, overload      atomic.Uint64
-	walRetries          atomic.Uint64
+	enqueued, applied   *obs.Counter
+	coalesced, rejected *obs.Counter
+	batches, snaps      *obs.Counter
+	shed, overload      *obs.Counter
+	walRetries          *obs.Counter
 	walBytes            atomic.Int64
+
+	// Latency histograms and the trace ring, nil without Options.Metrics
+	// (recording into nil is a no-op). joinNS/boundedNS time only the
+	// cache-miss kernels — a cache hit executes zero instrumentation.
+	joinNS, boundedNS *obs.Histogram
+	batchNS, snapNS   *obs.Histogram
+	staleHist         *obs.Histogram
+	oobRunNS          *obs.Histogram
+	stageNS           stageHists
+	trace             *obs.Ring
 
 	// readOnly is the durability-lost degraded mode: enqueues fail with
 	// ErrReadOnly, already-mailed ops are dropped (counted as rejected),
@@ -278,11 +305,14 @@ type Engine struct {
 	// rebuilt carries finished out-of-band rebuilds back to the writer
 	// goroutine. Buffered one deep: at most one rebuild is ever running,
 	// so the background goroutine's send never blocks.
-	rebuilt chan *csc.Rebuild
+	rebuilt chan rebuildDone
 
 	// Writer-goroutine state.
 	pending   []Op
 	sinceSnap int
+	// firstOpAt is when the oldest op of the pending batch entered the
+	// writer's hands — the trace's enqueue-wait stage.
+	firstOpAt time.Time
 	// oobInflight is the rebuild currently running on the background
 	// goroutine; oobNext the one queued behind it (a newer deferral
 	// supersedes anything queued, so one slot suffices).
@@ -332,18 +362,23 @@ func start(ix csc.Counter, st *Store, seq uint64, opts Options) *Engine {
 	opts.fill()
 	lock := newStripedRW()
 	e := &Engine{
-		ix:      ix,
-		n:       ix.Graph().NumVertices(),
-		lock:    lock,
-		opts:    opts,
-		mail:    make(chan Op, opts.MailboxSize),
-		ctl:     make(chan ctlReq),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
-		store:   st,
-		queries: make([]paddedCount, len(lock.shards)),
-		hits:    make([]paddedCount, len(lock.shards)),
-		rebuilt: make(chan *csc.Rebuild, 1),
+		ix:       ix,
+		n:        ix.Graph().NumVertices(),
+		lock:     lock,
+		opts:     opts,
+		mail:     make(chan Op, opts.MailboxSize),
+		ctl:      make(chan ctlReq),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		store:    st,
+		queries:  make([]paddedCount, len(lock.shards)),
+		hits:     make([]paddedCount, len(lock.shards)),
+		rebuilt:  make(chan rebuildDone, 1),
+		enqueued: &obs.Counter{}, applied: &obs.Counter{},
+		coalesced: &obs.Counter{}, rejected: &obs.Counter{},
+		batches: &obs.Counter{}, snaps: &obs.Counter{},
+		shed: &obs.Counter{}, overload: &obs.Counter{},
+		walRetries: &obs.Counter{},
 	}
 	if !opts.NoCache {
 		e.cache = newReadCache(e.n)
@@ -352,6 +387,7 @@ func start(ix csc.Counter, st *Store, seq uint64, opts Options) *Engine {
 	if st != nil {
 		e.walBytes.Store(st.WALBytes())
 	}
+	e.initObs()
 	go e.run()
 	return e
 }
@@ -440,7 +476,13 @@ func (e *Engine) readCached(v int, counted bool) (length int, count uint64) {
 			return l, c
 		}
 	}
-	length, count = e.ix.CycleCount(v)
+	if e.joinNS != nil {
+		t0 := time.Now()
+		length, count = e.ix.CycleCount(v)
+		e.joinNS.ObserveSince(t0)
+	} else {
+		length, count = e.ix.CycleCount(v)
+	}
 	if e.cache != nil {
 		e.cache.put(v, e.seq.Load(), length, count)
 	}
@@ -485,6 +527,12 @@ func (e *Engine) CycleCountBounded(v, maxLen int) (length int, count uint64) {
 			return l, c
 		}
 	}
+	if e.boundedNS != nil {
+		t0 := time.Now()
+		length, count = e.ix.CycleCountBounded(v, maxLen)
+		e.boundedNS.ObserveSince(t0)
+		return length, count
+	}
 	return e.ix.CycleCountBounded(v, maxLen)
 }
 
@@ -508,6 +556,12 @@ func (e *Engine) CycleCountBoundedCtx(ctx context.Context, v, maxLen int) (lengt
 			}
 			return l, c, nil
 		}
+	}
+	if e.boundedNS != nil {
+		t0 := time.Now()
+		length, count = e.ix.CycleCountBounded(v, maxLen)
+		e.boundedNS.ObserveSince(t0)
+		return length, count, nil
 	}
 	length, count = e.ix.CycleCountBounded(v, maxLen)
 	return length, count, nil
@@ -796,7 +850,7 @@ func (e *Engine) run() {
 	for {
 		select {
 		case op := <-e.mail:
-			e.pending = append(e.pending, op)
+			e.push(op)
 			e.drainMail()
 			switch {
 			case len(e.pending) >= e.opts.MaxBatch || e.opts.FlushInterval < 0:
@@ -832,12 +886,21 @@ func (e *Engine) run() {
 	}
 }
 
+// push appends one op to pending, stamping the batch's first-op time —
+// the enqueue-wait stage of the batch trace.
+func (e *Engine) push(op Op) {
+	if len(e.pending) == 0 {
+		e.firstOpAt = time.Now()
+	}
+	e.pending = append(e.pending, op)
+}
+
 // drainMail moves immediately available ops into pending, up to MaxBatch.
 func (e *Engine) drainMail() {
 	for len(e.pending) < e.opts.MaxBatch {
 		select {
 		case op := <-e.mail:
-			e.pending = append(e.pending, op)
+			e.push(op)
 		default:
 			return
 		}
@@ -856,17 +919,30 @@ func (e *Engine) applyPending() {
 		// served state stays equal to the durable prefix.
 		e.rejected.Add(uint64(len(e.pending)))
 		e.pending = e.pending[:0]
+		e.firstOpAt = time.Time{}
 		return
 	}
+	start := time.Now()
+	var waitNS int64
+	if !e.firstOpAt.IsZero() {
+		waitNS = start.Sub(e.firstOpAt).Nanoseconds()
+		e.firstOpAt = time.Time{}
+	}
+	raw := len(e.pending)
 	batch := e.coalesce()
-	e.coalesced.Add(uint64(len(e.pending) - len(batch)))
+	coalesceNS := time.Since(start).Nanoseconds()
+	e.coalesced.Add(uint64(raw - len(batch)))
 	e.pending = e.pending[:0]
 	if len(batch) == 0 {
 		return
 	}
 	seq := e.seq.Load() + 1
+	var walNS int64
 	if e.store != nil {
-		if err := e.appendWithRetry(seq, batch); err != nil {
+		walStart := time.Now()
+		err := e.appendWithRetry(seq, batch)
+		walNS = time.Since(walStart).Nanoseconds()
+		if err != nil {
 			// Durability lost past the retry budget: drop the batch and
 			// enter read-only mode rather than applying in memory — state
 			// that recovery cannot reconstruct must never be served. A
@@ -879,16 +955,21 @@ func (e *Engine) applyPending() {
 		}
 		e.walBytes.Store(e.store.WALBytes())
 	}
-	touched := e.apply(batch, seq)
+	applyStart := time.Now()
+	touched, st, deferred := e.apply(batch, seq)
+	applyNS := time.Since(applyStart).Nanoseconds()
 	e.seq.Store(seq)
 	e.batches.Add(1)
 	e.applied.Add(uint64(len(batch)))
 	e.hookMu.Lock()
 	hooks := e.hooks
 	e.hookMu.Unlock()
+	hooksStart := time.Now()
 	for _, h := range hooks {
 		h(batch, touched)
 	}
+	hooksNS := time.Since(hooksStart).Nanoseconds()
+	e.recordBatch(seq, start, raw, batch, touched, st, deferred, waitNS, coalesceNS, walNS, applyNS, hooksNS)
 	if e.store != nil && e.opts.SnapshotEvery > 0 {
 		e.sinceSnap++
 		// Periodic snapshots wait out any pending out-of-band rebuild
@@ -986,9 +1067,8 @@ func batchOps(batch []Op) []csc.EdgeOp {
 // The result cache is expired for those vertices before the grace period
 // ends, so no reader ever pairs a post-batch epoch with a pre-batch
 // value.
-func (e *Engine) apply(batch []Op, seq uint64) []int {
+func (e *Engine) apply(batch []Op, seq uint64) (dirty []int, st pll.UpdateStats, deferred bool) {
 	e.lock.lockAll()
-	var st pll.UpdateStats
 	var err error
 	var pending *csc.Rebuild
 	sx, sharded := e.ix.(*csc.Sharded)
@@ -1008,7 +1088,7 @@ func (e *Engine) apply(batch []Op, seq uint64) []int {
 			pending = sx.PendingRebuild()
 		}
 	}
-	dirty := csc.DirtyVertices(st)
+	dirty = csc.DirtyVertices(st)
 	if e.cache != nil {
 		e.cache.invalidate(dirty, seq)
 	}
@@ -1016,7 +1096,7 @@ func (e *Engine) apply(batch []Op, seq uint64) []int {
 	if oob {
 		e.scheduleRebuild(pending)
 	}
-	return dirty
+	return dirty, st, pending != nil
 }
 
 // scheduleRebuild reconciles the writer's rebuild slots with the index's
@@ -1046,8 +1126,9 @@ func (e *Engine) maybeStartRebuild() {
 	e.oobInflight = r
 	workers := e.opts.UpdateWorkers
 	go func() {
+		t0 := time.Now()
 		r.Run(workers)
-		e.rebuilt <- r
+		e.rebuilt <- rebuildDone{r: r, runNS: time.Since(t0).Nanoseconds()}
 	}()
 }
 
@@ -1059,13 +1140,15 @@ func (e *Engine) maybeStartRebuild() {
 // numbers). A rebuild superseded while it ran is discarded here by the
 // index (CompleteRebuild reports false) and the still-pending deferral,
 // if any, has already been queued by the superseding batch.
-func (e *Engine) finishRebuild(r *csc.Rebuild) {
+func (e *Engine) finishRebuild(d rebuildDone) {
+	r := d.r
 	e.oobInflight = nil
 	sx, ok := e.ix.(*csc.Sharded)
 	if !ok {
 		return
 	}
 	seq := e.seq.Load() + 1
+	swapStart := time.Now()
 	e.lock.lockAll()
 	st, installed := sx.CompleteRebuild(r)
 	var dirty []int
@@ -1077,6 +1160,30 @@ func (e *Engine) finishRebuild(r *csc.Rebuild) {
 		e.seq.Store(seq)
 	}
 	e.lock.unlockAll()
+	if installed {
+		// The freeze→swap window: how long the rebuilt shards served
+		// stale answers, measured from the deferral's (inherited) freeze
+		// point to the swap landing.
+		var staleNS int64
+		if fa := r.FrozenAt(); !fa.IsZero() {
+			staleNS = time.Since(fa).Nanoseconds()
+		}
+		e.staleHist.Observe(staleNS)
+		e.oobRunNS.Observe(d.runNS)
+		swapNS := time.Since(swapStart).Nanoseconds()
+		e.trace.Add(obs.BatchTrace{
+			Seq:    seq,
+			Kind:   "oob-swap",
+			Start:  swapStart,
+			Shards: r.StaleSlots(),
+			Stages: []obs.Stage{
+				{Name: "rebuild", DurNS: d.runNS},
+				{Name: "swap", DurNS: swapNS},
+			},
+			StaleNS: staleNS,
+			TotalNS: d.runNS + swapNS,
+		})
+	}
 	if installed && len(dirty) > 0 {
 		// The swap is a batch commit as far as consumers are concerned:
 		// the top-k monitor must rescore the now-fresh region. No ops to
@@ -1143,6 +1250,7 @@ func (e *Engine) snapshotNow() error {
 	// A pending out-of-band rebuild must land first: serializing a stale
 	// shard would persist pre-batch labels that disagree with the graph.
 	e.awaitRebuilds()
+	snapStart := time.Now()
 	if err := e.store.WriteSnapshot(e.seq.Load(), e.ix); err != nil {
 		// A half-done snapshot cannot be trusted to leave the WAL in an
 		// appendable state (the failure may have struck mid-reset), so
@@ -1151,6 +1259,7 @@ func (e *Engine) snapshotNow() error {
 		e.readOnly.Store(true)
 		return err
 	}
+	e.snapNS.ObserveSince(snapStart)
 	e.walBytes.Store(e.store.WALBytes())
 	e.sinceSnap = 0
 	e.snaps.Add(1)

@@ -10,8 +10,10 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/csc"
+	"repro/internal/obs"
 )
 
 // Durability layout: a store directory holds at most two files.
@@ -65,6 +67,12 @@ type Store struct {
 	wal      StoreFile
 	walBytes int64
 	scratch  bytes.Buffer
+
+	// appendNS/fsyncNS time WAL appends (whole record, write+fsync) and
+	// the fsync alone. Set by the owning engine when metrics are enabled;
+	// nil histograms record nothing.
+	appendNS *obs.Histogram
+	fsyncNS  *obs.Histogram
 }
 
 // OpenStore opens (creating if needed) a store directory and takes an
@@ -282,12 +290,19 @@ func (s *Store) Append(seq uint64, batch []Op) error {
 	}
 	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(b.Bytes(), crcTable))
 	b.Write(tmp[:4])
+	start := time.Now()
 	n, err := s.wal.Write(b.Bytes())
 	s.walBytes += int64(n)
 	if err != nil {
 		return err
 	}
-	return s.wal.Sync()
+	syncStart := time.Now()
+	err = s.wal.Sync()
+	if err == nil {
+		s.fsyncNS.ObserveSince(syncStart)
+		s.appendNS.ObserveSince(start)
+	}
+	return err
 }
 
 // truncateTo rolls the WAL back to off bytes — the rollback between

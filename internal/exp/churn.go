@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/csc"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ChurnArm is one engine configuration's half of the structural-churn
@@ -130,23 +130,27 @@ func churnArm(g *graph.Digraph, threshold, flaps, readers int) ChurnArm {
 	})
 	h := g.NumVertices() / 2
 
+	// Each reader records into its own latency histogram — contention-free
+	// — and the arm's percentiles come from the merged snapshot. This is
+	// the serving layer's own histogram (internal/obs), so the experiment
+	// reports exactly what a production /metrics scrape would, to its
+	// ≤6.25% bucket resolution.
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	samples := make([][]int64, readers)
+	hists := make([]*obs.Histogram, readers)
 	for ri := 0; ri < readers; ri++ {
+		hists[ri] = obs.NewHistogram()
 		wg.Add(1)
 		go func(ri int) {
 			defer wg.Done()
-			var buf []int64
 			v := ri
 			for !stop.Load() {
 				time.Sleep(churnProbeEvery)
 				t0 := time.Now()
 				e.CycleCount(v % (2 * h))
-				buf = append(buf, time.Since(t0).Nanoseconds())
+				hists[ri].ObserveSince(t0)
 				v += 13 // odd stride: walk every vertex, spread across stripes
 			}
-			samples[ri] = buf
 		}(ri)
 	}
 
@@ -188,36 +192,26 @@ func churnArm(g *graph.Digraph, threshold, flaps, readers int) ChurnArm {
 		panic(err)
 	}
 
-	var all []int64
-	for _, buf := range samples {
-		all = append(all, buf...)
+	var all obs.HistSnapshot
+	for _, hist := range hists {
+		all.Merge(hist.Snapshot())
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	arm := ChurnArm{
 		Threshold:  threshold,
 		Flaps:      flaps,
-		Reads:      len(all),
+		Reads:      int(all.Count),
 		WallNS:     wall.Nanoseconds(),
-		P50NS:      percentileNS(all, 0.50),
-		P99NS:      percentileNS(all, 0.99),
-		P999NS:     percentileNS(all, 0.999),
+		P50NS:      all.Quantile(0.50),
+		P99NS:      all.Quantile(0.99),
+		P999NS:     all.Quantile(0.999),
+		MaxNS:      all.Max,
 		Rebuilds:   st.OOBRebuilds,
 		Superseded: st.OOBSuperseded,
-	}
-	if len(all) > 0 {
-		arm.MaxNS = all[len(all)-1]
 	}
 	if wall > 0 {
 		arm.FlapsPerS = float64(flaps) / wall.Seconds()
 	}
 	return arm
-}
-
-func percentileNS(sorted []int64, q float64) int64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	return sorted[int(q*float64(len(sorted)-1))]
 }
 
 // churnOOBThreshold picks the OOB arm's deferral threshold: far below

@@ -23,6 +23,10 @@ type QueryServePoint struct {
 	CachedQPS        float64 `json:"cached_queries_per_sec"`
 	CacheHitRate     float64 `json:"cache_hit_rate"`
 	Speedup          float64 `json:"speedup"`
+	// Sampled read-latency p99 of each arm (see ServePoint), from the
+	// obs histograms the serving layer itself exposes on /metrics.
+	ColdP99NS   int64 `json:"cold_read_p99_ns,omitempty"`
+	CachedP99NS int64 `json:"cached_read_p99_ns,omitempty"`
 }
 
 // TopKRescoreRow is one batch-size point of the top-k maintenance
@@ -126,6 +130,8 @@ func Queries(s Scale) []QueryThroughputRow {
 				UpdateRatePerSec: coldPts[i].UpdateRatePerSec,
 				ColdQPS:          coldPts[i].QueriesPerSec,
 				CachedQPS:        cachedPts[i].QueriesPerSec,
+				ColdP99NS:        coldPts[i].P99NS,
+				CachedP99NS:      cachedPts[i].P99NS,
 			}
 			if cachedPts[i].Queries > 0 {
 				p.CacheHitRate = float64(cachedPts[i].CacheHits) / float64(cachedPts[i].Queries)
@@ -210,13 +216,14 @@ func WriteQueries(w io.Writer, rows []QueryThroughputRow) error {
 		if _, err := fmt.Fprintf(w, "%s (n=%d m=%d)\n", r.Family, r.N, r.M); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "  %8s | %12s %12s %8s %8s\n",
-			"rate", "cold-q/s", "cached-q/s", "hit", "speedup"); err != nil {
+		if _, err := fmt.Fprintf(w, "  %8s | %12s %12s %8s %8s | %10s %10s\n",
+			"rate", "cold-q/s", "cached-q/s", "hit", "speedup", "cold-p99", "cached-p99"); err != nil {
 			return err
 		}
 		for _, p := range r.Serve {
-			if _, err := fmt.Fprintf(w, "  %8d | %12.0f %12.0f %7.1f%% %7.2fx\n",
-				p.UpdateRatePerSec, p.ColdQPS, p.CachedQPS, 100*p.CacheHitRate, p.Speedup); err != nil {
+			if _, err := fmt.Fprintf(w, "  %8d | %12.0f %12.0f %7.1f%% %7.2fx | %10s %10s\n",
+				p.UpdateRatePerSec, p.ColdQPS, p.CachedQPS, 100*p.CacheHitRate, p.Speedup,
+				time.Duration(p.ColdP99NS), time.Duration(p.CachedP99NS)); err != nil {
 				return err
 			}
 		}

@@ -8,11 +8,18 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // ServePoint is one engine-throughput measurement: sustained queries/sec
 // with GOMAXPROCS reader goroutines while the writer absorbs updates at
 // the given rate. EXPERIMENTS.md documents the methodology.
+//
+// The latency percentiles come from 1-in-serveSampleEvery reads timed
+// into per-reader obs histograms (merged at the end): closed-loop
+// readers measure service time under full contention, complementing the
+// churn experiment's open-loop probes, and sampling keeps the clock
+// reads from perturbing the throughput number they annotate.
 type ServePoint struct {
 	Readers          int     `json:"readers"`
 	UpdateRatePerSec int     `json:"update_rate_per_sec"`
@@ -22,7 +29,13 @@ type ServePoint struct {
 	CacheHits        uint64  `json:"cache_hits,omitempty"`
 	OpsApplied       uint64  `json:"ops_applied"`
 	Batches          uint64  `json:"batches"`
+	LatencySamples   uint64  `json:"latency_samples,omitempty"`
+	P50NS            int64   `json:"read_p50_ns,omitempty"`
+	P99NS            int64   `json:"read_p99_ns,omitempty"`
 }
+
+// serveSampleEvery is the read-latency sampling stride of serveBench.
+const serveSampleEvery = 16
 
 // serveRates are the update loads each dataset is measured under:
 // read-only, a moderate stream, and a heavy stream.
@@ -55,16 +68,24 @@ func serveBench(s Scale, g *graph.Digraph, e *engine.Engine) []ServePoint {
 		before := e.Stats()
 		var stop atomic.Bool
 		var wg sync.WaitGroup
+		hists := make([]*obs.Histogram, readers)
 		for w := 0; w < readers; w++ {
+			hists[w] = obs.NewHistogram()
 			wg.Add(1)
-			go func(seed uint64) {
+			go func(w int, seed uint64) {
 				defer wg.Done()
 				v := int(seed % uint64(n))
-				for !stop.Load() {
-					e.CycleCount(v)
+				for i := 0; !stop.Load(); i++ {
+					if i%serveSampleEvery == 0 {
+						t0 := time.Now()
+						e.CycleCount(v)
+						hists[w].ObserveSince(t0)
+					} else {
+						e.CycleCount(v)
+					}
 					v = (v + 7919) % n // prime stride: spread vertices, no rand in the hot loop
 				}
-			}(uint64(w)*2654435761 + 1)
+			}(w, uint64(w)*2654435761+1)
 		}
 		if rate > 0 && len(edges) > 0 {
 			wg.Add(1)
@@ -123,6 +144,10 @@ func serveBench(s Scale, g *graph.Digraph, e *engine.Engine) []ServePoint {
 		// queries that actually entered a reader epoch.
 		after := e.Stats()
 		queries := after.Queries - before.Queries
+		var lat obs.HistSnapshot
+		for _, hist := range hists {
+			lat.Merge(hist.Snapshot())
+		}
 		out = append(out, ServePoint{
 			Readers:          readers,
 			UpdateRatePerSec: rate,
@@ -132,6 +157,9 @@ func serveBench(s Scale, g *graph.Digraph, e *engine.Engine) []ServePoint {
 			CacheHits:        after.CacheHits - before.CacheHits,
 			OpsApplied:       after.OpsApplied - before.OpsApplied,
 			Batches:          after.Batches - before.Batches,
+			LatencySamples:   lat.Count,
+			P50NS:            lat.Quantile(0.50),
+			P99NS:            lat.Quantile(0.99),
 		})
 	}
 	return out

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout ("HDR-lite"): values below 2^histSubBits land
+// in one exact bucket each; every octave above is split into
+// 2^histSubBits linear sub-buckets. Relative quantile error is bounded
+// by 2^-histSubBits (6.25%) — plenty for latency percentiles — while a
+// full histogram stays under 8 KiB of counters and recording stays two
+// atomic adds plus an atomic max.
+const (
+	histSubBits = 4
+	histSubs    = 1 << histSubBits // sub-buckets per octave, and the exact range
+	// histMaxExp caps the value range at 2^histMaxExp-1 ns (~69 s);
+	// larger observations clamp into the top bucket.
+	histMaxExp  = 36
+	histBuckets = histSubs + (histMaxExp-histSubBits)*histSubs
+)
+
+// bucketIdx maps a non-negative value to its bucket. Monotone: larger
+// values never map to smaller buckets.
+func bucketIdx(v int64) int {
+	if v < histSubs {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	if exp >= histMaxExp {
+		return histBuckets - 1
+	}
+	sub := int(v>>(exp-histSubBits)) & (histSubs - 1)
+	return (exp-histSubBits)*histSubs + histSubs + sub
+}
+
+// bucketBound returns bucket i's inclusive upper bound.
+func bucketBound(i int) int64 {
+	if i < histSubs {
+		return int64(i)
+	}
+	i -= histSubs
+	exp := histSubBits + i/histSubs
+	sub := i % histSubs
+	width := int64(1) << (exp - histSubBits)
+	return int64(1)<<exp + int64(sub+1)*width - 1
+}
+
+// Histogram is a lock-free latency histogram: log2 octaves with linear
+// sub-buckets, plus running count/sum/max. Observations are int64
+// nanoseconds (negative values clamp to zero). A nil Histogram is a
+// no-op — the disabled-registry configuration.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns a standalone histogram, usable without a
+// Registry (the experiment harness records probe latencies this way).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one value (nanoseconds).
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIdx(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		m := h.max.Load()
+		if ns <= m || h.max.CompareAndSwap(m, ns) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0).Nanoseconds())
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, mergeable with
+// other snapshots and queryable for quantiles. Snapshots taken
+// concurrently with recording are internally consistent per bucket but
+// may straddle an in-flight observation (count and bucket sums can be
+// off by the observations landing during the copy) — fine for
+// monitoring, and exact once recording has quiesced.
+type HistSnapshot struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     int64
+	Max     int64
+}
+
+// Snapshot copies the histogram's current state. Safe concurrently
+// with Observe. A nil histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Merge folds o into s — the cross-goroutine aggregation path when each
+// worker records into its own histogram.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// Quantile returns the value (ns) at quantile q in [0,1]: the upper
+// bound of the bucket holding the rank-q observation, so the relative
+// error is bounded by the sub-bucket width (≤ 6.25%) and tails are
+// reported conservatively (never under). Returns 0 on an empty
+// snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum > rank {
+			b := bucketBound(i)
+			if b > s.Max && s.Max > 0 {
+				return s.Max // the top occupied bucket overshoots the true max
+			}
+			return b
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the average observation in nanoseconds (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

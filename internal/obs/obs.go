@@ -1,0 +1,276 @@
+// Package obs is the dependency-free observability core shared by the
+// serving engine, the HTTP layer, and the experiment harness: atomic
+// counters and gauges, log2-bucketed latency histograms with mergeable
+// snapshots and percentile extraction (hist.go), a fixed-size
+// batch-lifecycle trace ring (trace.go), and a hand-rolled Prometheus
+// text exposition (prom.go).
+//
+// Design constraints, in order:
+//
+//   - Hot-path recording must be lock-free: Counter.Add and
+//     Histogram.Observe are a handful of atomic adds, safe from any
+//     goroutine. The registry mutex guards registration and scrape
+//     only — both cold.
+//   - One measurement path. A metric can be registered func-backed
+//     (CounterFunc/GaugeFunc/Collect), reading the owner's live
+//     counters at scrape time — so /metrics and /stats cannot drift:
+//     both surfaces read the same words.
+//   - A disabled registry (Disabled, or a nil *Registry) hands out nil
+//     metrics, and every method is nil-receiver safe, so instrumented
+//     code needs no branches: the no-op configuration is the same code
+//     path minus the atomic writes. BenchmarkObsOverhead holds the
+//     instrumented read path to the noise floor against this.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType discriminates exposition families.
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready; a nil Counter (from a disabled registry) is a no-op.
+type Counter struct{ n atomic.Uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.n.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current count (0 for a nil Counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is an atomic instantaneous value. A nil Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Load returns the current value (0 for a nil Gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// family is one registered exposition family: exactly one of the value
+// sources is set.
+type family struct {
+	name, help string
+	typ        metricType
+	labelKey   string // Collect / HistogramVec children
+
+	counter   *Counter
+	gauge     *Gauge
+	counterFn func() uint64
+	gaugeFn   func() float64
+	collect   func(emit func(labelValue string, v float64))
+	hist      *Histogram
+	vec       *HistogramVec
+}
+
+// Registry holds the registered metric families of one process (or one
+// experiment arm). The zero value must not be used; construct with New
+// or Disabled. All registration methods panic on a duplicate name —
+// metric names are compile-time constants, so a collision is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	fams     []*family
+	byName   map[string]*family
+	disabled bool
+}
+
+// New returns an enabled registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Disabled returns a registry whose constructors hand out nil metrics:
+// every Observe/Add on them is a no-op and WritePrometheus writes
+// nothing. The ablation arm for overhead benchmarks.
+func Disabled() *Registry {
+	return &Registry{byName: make(map[string]*family), disabled: true}
+}
+
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", f.name))
+	}
+	r.byName[f.name] = f
+	r.fams = append(r.fams, f)
+}
+
+func (r *Registry) off() bool { return r == nil || r.disabled }
+
+// Counter registers and returns an owned counter (nil when disabled).
+func (r *Registry) Counter(name, help string) *Counter {
+	if r.off() {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: typeCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns an owned gauge (nil when disabled).
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r.off() {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: typeGauge, gauge: g})
+	return g
+}
+
+// CounterFunc registers a func-backed counter: fn is called at scrape
+// time, so the exposition reads the owner's live counter — the
+// no-drift path for counters that already exist elsewhere (striped
+// per-shard counters, engine stats words).
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r.off() {
+		return
+	}
+	r.register(&family{name: name, help: help, typ: typeCounter, counterFn: fn})
+}
+
+// GaugeFunc registers a func-backed gauge, read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r.off() {
+		return
+	}
+	r.register(&family{name: name, help: help, typ: typeGauge, gaugeFn: fn})
+}
+
+// Collect registers a labeled gauge family whose samples are produced
+// at scrape time: fn is called with an emit callback and emits one
+// sample per label value (e.g. one per shard). labelKey names the
+// label dimension.
+func (r *Registry) Collect(name, help, labelKey string, fn func(emit func(labelValue string, v float64))) {
+	if r.off() {
+		return
+	}
+	r.register(&family{name: name, help: help, typ: typeGauge, labelKey: labelKey, collect: fn})
+}
+
+// Histogram registers and returns an owned latency histogram (nil when
+// disabled). Observations are nanoseconds; the exposition converts
+// bucket bounds to seconds per Prometheus convention.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r.off() {
+		return nil
+	}
+	h := NewHistogram()
+	r.register(&family{name: name, help: help, typ: typeHistogram, hist: h})
+	return h
+}
+
+// HistogramVec registers a histogram family partitioned by one label
+// (nil when disabled). Children are created on first With and live for
+// the registry's lifetime.
+func (r *Registry) HistogramVec(name, help, labelKey string) *HistogramVec {
+	if r.off() {
+		return nil
+	}
+	v := &HistogramVec{children: make(map[string]*Histogram)}
+	r.register(&family{name: name, help: help, typ: typeHistogram, labelKey: labelKey, vec: v})
+	return v
+}
+
+// HistogramVec is a histogram family keyed by one label value. A nil
+// vec hands out nil histograms.
+type HistogramVec struct {
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the given label value, creating
+// it on first use. Callers on hot paths should call With once and keep
+// the child.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[labelValue]
+	if !ok {
+		h = NewHistogram()
+		v.children[labelValue] = h
+	}
+	return h
+}
+
+// sorted returns the children in label order (scrape path).
+func (v *HistogramVec) sorted() (labels []string, hists []*Histogram) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for l := range v.children {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		hists = append(hists, v.children[l])
+	}
+	return labels, hists
+}
+
+// families snapshots the registration list for a scrape, sorted by
+// name.
+func (r *Registry) families() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*family, len(r.fams))
+	copy(out, r.fams)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

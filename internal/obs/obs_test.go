@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestBucketLayout pins the bucket scheme: bucketIdx is monotone, every
+// bucket's upper bound maps back into the same bucket, and bounds are
+// strictly increasing.
+func TestBucketLayout(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		b := bucketBound(i)
+		if b <= prev {
+			t.Fatalf("bucket %d bound %d not increasing past %d", i, b, prev)
+		}
+		if got := bucketIdx(b); got != i && i != histBuckets-1 {
+			t.Fatalf("bucketIdx(bound(%d)=%d) = %d", i, b, got)
+		}
+		prev = b
+	}
+	last := int64(0)
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := int64(bucketIdx(v))
+		if i < last {
+			t.Fatalf("bucketIdx not monotone at %d", v)
+		}
+		last = i
+	}
+}
+
+// TestQuantileOracle is the percentile-correctness gate: against a
+// sorted-sample oracle over several distributions, every extracted
+// quantile must land within the histogram's sub-bucket resolution
+// (relative error ≤ 2^-histSubBits, with slack for the oracle's own
+// rank rounding).
+func TestQuantileOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	dists := map[string]func() int64{
+		"uniform": func() int64 { return r.Int63n(1_000_000) },
+		"exp":     func() int64 { return int64(r.ExpFloat64() * 50_000) },
+		"bimodal": func() int64 {
+			return map[bool]int64{true: 900 + r.Int63n(200), false: 30_000_000 + r.Int63n(5_000_000)}[r.Intn(100) < 95]
+		},
+		"heavytail": func() int64 { return int64(math.Pow(10, 3+5*r.Float64())) },
+	}
+	for name, gen := range dists {
+		h := NewHistogram()
+		samples := make([]int64, 50_000)
+		for i := range samples {
+			samples[i] = gen()
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		s := h.Snapshot()
+		if s.Count != uint64(len(samples)) {
+			t.Fatalf("%s: count %d != %d", name, s.Count, len(samples))
+		}
+		if s.Max != samples[len(samples)-1] {
+			t.Fatalf("%s: max %d != %d", name, s.Max, samples[len(samples)-1])
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+			want := samples[int(q*float64(len(samples)-1))]
+			got := s.Quantile(q)
+			// The histogram reports a bucket upper bound ≥ the true
+			// value, within one sub-bucket width.
+			tol := float64(want)/float64(histSubs) + 1
+			if float64(got) < float64(want)-tol || float64(got) > float64(want)+2*tol {
+				t.Errorf("%s p%g: got %d want %d (±%.0f)", name, q*100, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestSnapshotMerge: per-worker histograms merged must agree with one
+// shared histogram over the same observations.
+func TestSnapshotMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	shared := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	for i := 0; i < 10_000; i++ {
+		v := r.Int63n(1 << 30)
+		shared.Observe(v)
+		parts[i%3].Observe(v)
+	}
+	merged := parts[0].Snapshot()
+	for _, p := range parts[1:] {
+		merged.Merge(p.Snapshot())
+	}
+	want := shared.Snapshot()
+	if merged != want {
+		t.Fatalf("merged snapshot differs: count %d/%d sum %d/%d max %d/%d",
+			merged.Count, want.Count, merged.Sum, want.Sum, merged.Max, want.Max)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("p%g: merged %d != shared %d", q*100, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+}
+
+// TestConcurrentRecordSnapshot is the race gate for the hot path:
+// goroutines hammer counters and histograms while another goroutine
+// scrapes snapshots and expositions; after everyone quiesces the totals
+// must be exact.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	reg := New()
+	c := reg.Counter("test_ops_total", "ops")
+	h := reg.Histogram("test_latency_seconds", "latency")
+	const workers, perWorker = 8, 5_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Snapshot()
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		writers.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			defer writers.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(r.Int63n(1 << 25))
+			}
+		}(int64(w))
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter %d != %d", got, workers*perWorker)
+	}
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("histogram count %d != %d", s.Count, workers*perWorker)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+// TestDisabledAndNil: a disabled registry hands out nil metrics, and
+// every nil-receiver method is a safe no-op.
+func TestDisabledAndNil(t *testing.T) {
+	for _, reg := range []*Registry{Disabled(), nil} {
+		c := reg.Counter("x_total", "")
+		g := reg.Gauge("x", "")
+		h := reg.Histogram("x_seconds", "")
+		v := reg.HistogramVec("x_route_seconds", "", "route")
+		reg.CounterFunc("x_fn_total", "", func() uint64 { return 1 })
+		reg.GaugeFunc("x_fn", "", func() float64 { return 1 })
+		reg.Collect("x_shard", "", "shard", func(emit func(string, float64)) { emit("0", 1) })
+		c.Inc()
+		c.Add(5)
+		g.Set(2)
+		g.Add(-1)
+		h.Observe(100)
+		v.With("a").Observe(100)
+		if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 {
+			t.Fatal("disabled metrics recorded")
+		}
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if reg != nil && buf.Len() != 0 {
+			t.Fatalf("disabled exposition wrote %q", buf.String())
+		}
+		var ring *Ring
+		ring.Add(BatchTrace{})
+		if ring.Snapshot() != nil || ring.Len() != 0 {
+			t.Fatal("nil ring not empty")
+		}
+	}
+}
+
+// TestRingEviction: the ring keeps the newest n entries, oldest first.
+func TestRingEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(1); i <= 10; i++ {
+		r.Add(BatchTrace{Seq: i})
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i, tr := range got {
+		if want := uint64(7 + i); tr.Seq != want {
+			t.Fatalf("entry %d seq %d want %d", i, tr.Seq, want)
+		}
+	}
+}
+
+// TestExpositionGolden pins the /metrics wire format byte-for-byte: a
+// deterministic registry rendered against testdata/metrics.golden
+// (regenerate with -update). Sorting, HELP/TYPE lines, label quoting,
+// histogram bucket bounds and cumulative counts are all under the
+// golden.
+func TestExpositionGolden(t *testing.T) {
+	reg := New()
+	reg.Counter("cscd_ops_applied_total", "edge ops applied").Add(1234)
+	reg.Gauge("cscd_queue_depth", "mailbox depth").Set(7)
+	reg.CounterFunc("cscd_queries_total", "client queries", func() uint64 { return 99 })
+	reg.GaugeFunc("cscd_label_bytes", "label arena bytes", func() float64 { return 81920 })
+	reg.Collect("cscd_shard_entries", "label entries per shard", "shard", func(emit func(string, float64)) {
+		emit("0", 120)
+		emit("3", 45)
+	})
+	h := reg.Histogram("cscd_query_join_seconds", "label-join latency")
+	for _, ns := range []int64{150, 900, 2_000, 2_100, 65_000, 1_000_000, 30_000_000} {
+		h.Observe(ns)
+	}
+	v := reg.HistogramVec("cscd_http_request_seconds", "request latency by route", "route")
+	v.With("GET /cycle/{v}").Observe(45_000)
+	v.With("GET /stats").Observe(12_000)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestDuplicateRegistrationPanics: metric names are constants, so a
+// collision must fail loudly at startup, not alias silently.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := New()
+	reg.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate name")
+		}
+	}()
+	reg.Counter("dup_total", "")
+}
+
+func BenchmarkObserve(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			h.Observe(i & 0xfffff)
+			i += 997
+		}
+	})
+}
+
+func ExampleHistSnapshot_Quantile() {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	s := h.Snapshot()
+	fmt.Println(s.Quantile(0.5) >= 450_000, s.Quantile(0.5) <= 550_000)
+	// Output: true true
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Exposition histogram bounds: one cumulative bucket per octave, from
+// 255ns to ~17s. Full sub-bucket resolution stays internal (quantile
+// extraction); the wire format only needs enough shape for dashboards,
+// and 28 le lines per histogram keeps a scrape readable. Bounds are
+// inclusive upper bounds in nanoseconds — exactly the top bucket bound
+// of each octave, so cumulative counts are exact prefix sums.
+const (
+	promLowExp  = 8  // first le = 2^8-1 ns
+	promHighExp = 35 // last finite le = 2^35-1 ns (~34 s)
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), sorted by metric name. Func-backed
+// and collected families read their owners' live values here — the
+// scrape is the measurement, there is no copy to drift.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Load())
+		case f.counterFn != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.counterFn())
+		case f.gauge != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.gauge.Load())
+		case f.gaugeFn != nil:
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatFloat(f.gaugeFn()))
+		case f.collect != nil:
+			f.collect(func(labelValue string, v float64) {
+				fmt.Fprintf(bw, "%s{%s=%q} %s\n", f.name, f.labelKey, labelValue, formatFloat(v))
+			})
+		case f.hist != nil:
+			writeHist(bw, f.name, "", f.hist.Snapshot())
+		case f.vec != nil:
+			labels, hists := f.vec.sorted()
+			for i, l := range labels {
+				writeHist(bw, f.name, fmt.Sprintf("%s=%q", f.labelKey, l), hists[i].Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHist renders one histogram series (labels may be empty or one
+// pre-rendered key="value" pair).
+func writeHist(w io.Writer, name, labels string, s HistSnapshot) {
+	cum := uint64(0)
+	next := 0 // next internal bucket to fold into the cumulative count
+	for exp := promLowExp; exp <= promHighExp; exp++ {
+		boundNS := int64(1)<<exp - 1
+		top := bucketIdx(boundNS) // last internal bucket at or under the bound
+		for ; next <= top && next < histBuckets; next++ {
+			cum += s.Buckets[next]
+		}
+		// Divide by the exact constant 1e9 (not multiply by the inexact
+		// 1e-9) so bounds render as clean shortest floats.
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, histLabels(labels, formatFloat(float64(boundNS)/1e9)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, histLabels(labels, "+Inf"), s.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(s.Sum)/1e9))
+		fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(float64(s.Sum)/1e9))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count)
+	}
+}
+
+func histLabels(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// 1e+06-style exponents are valid exposition, but keep small
+	// integers plain for readability.
+	if !strings.ContainsAny(s, ".e") {
+		return s
+	}
+	return s
+}

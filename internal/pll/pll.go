@@ -87,6 +87,12 @@ type UpdateStats struct {
 	EntriesRemoved int // label entries deleted (step 2 + cleaning)
 	Duration       time.Duration
 
+	// PlanDuration and BuildDuration split Duration for batch entry
+	// points: planning/reconciling the batch vs running the per-shard
+	// maintenance and component rebuilds. Zero for single-edge updates.
+	PlanDuration  time.Duration
+	BuildDuration time.Duration
+
 	// TouchedOwners lists the vertices whose label lists were mutated
 	// (with duplicates). Everything a query could answer differently
 	// after the update involves at least one touched owner, so consumers

@@ -35,13 +35,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bfscount"
 	"repro/internal/engine"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 )
 
 // CycleJSON is the /cycle/{v} response body.
@@ -83,12 +87,15 @@ type EdgesResponse struct {
 type HealthJSON struct {
 	// Status is ok, degraded (read-only durability loss or stale shards
 	// pending an out-of-band rebuild), or overloaded (mailbox full).
-	Status     string `json:"status"`
-	ReadOnly   bool   `json:"read_only,omitempty"`
-	Degraded   []int  `json:"degraded,omitempty"`
-	QueueDepth int    `json:"queue_depth"`
-	MailboxCap int    `json:"mailbox_cap"`
-	Err        string `json:"error,omitempty"`
+	Status   string `json:"status"`
+	ReadOnly bool   `json:"read_only,omitempty"`
+	// DegradedShards lists the shard slots currently serving stale
+	// answers, so degradation is attributable to specific shards rather
+	// than a boolean.
+	DegradedShards []int  `json:"degraded_shards,omitempty"`
+	QueueDepth     int    `json:"queue_depth"`
+	MailboxCap     int    `json:"mailbox_cap"`
+	Err            string `json:"error,omitempty"`
 }
 
 // StatsJSON is the /stats response body.
@@ -98,18 +105,11 @@ type StatsJSON struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// Handler mounts the serving API over an engine. watch may be nil, in
-// which case /top answers 404. k is only echoed in /stats.
+// Handler mounts the serving API over an engine with default options.
+// watch may be nil, in which case /top answers 404. k is only echoed in
+// /stats.
 func Handler(e *engine.Engine, watch *monitor.TopK, k int) http.Handler {
-	s := &server{e: e, watch: watch, k: k, start: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /cycle/{v}", s.cycle)
-	mux.HandleFunc("GET /top", s.top)
-	mux.HandleFunc("POST /edges", s.edges(engine.OpInsert))
-	mux.HandleFunc("DELETE /edges", s.edges(engine.OpDelete))
-	mux.HandleFunc("GET /stats", s.stats)
-	mux.HandleFunc("GET /healthz", s.healthz)
-	return mux
+	return NewHandler(e, watch, k, Options{})
 }
 
 type server struct {
@@ -117,6 +117,16 @@ type server struct {
 	watch *monitor.TopK
 	k     int
 	start time.Time
+	opts  Options
+
+	// Observability state (obs.go): per-route latency histograms on the
+	// engine's registry, the serialized access-log writer, and the
+	// request-id generator.
+	routeNS map[string]*obs.Histogram
+	logMu   sync.Mutex
+	slowOut io.Writer
+	boot    string
+	reqN    atomic.Uint64
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -238,12 +248,12 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	st := s.e.Stats()
 	h := HealthJSON{
-		Status:     "ok",
-		ReadOnly:   st.ReadOnly,
-		Degraded:   st.Degraded,
-		QueueDepth: st.QueueDepth,
-		MailboxCap: st.MailboxCap,
-		Err:        st.Err,
+		Status:         "ok",
+		ReadOnly:       st.ReadOnly,
+		DegradedShards: st.Degraded,
+		QueueDepth:     st.QueueDepth,
+		MailboxCap:     st.MailboxCap,
+		Err:            st.Err,
 	}
 	switch {
 	case st.ReadOnly || st.Err != "" || len(st.Degraded) > 0:
