@@ -7,6 +7,12 @@
 //
 //	cscd -addr :8337 -data /var/lib/cscd -graph net.txt -k 10
 //
+// or point it at a serialized index file — with -mmap and a v3 file
+// (a compressed index written by WriteTo) the labels stay file-backed
+// and page in on demand, so the daemon serves before the arena is read:
+//
+//	cscd -addr :8337 -index graph.csc -mmap
+//
 //	curl localhost:8337/cycle/42
 //	curl localhost:8337/cycle/42?maxlen=4
 //	curl localhost:8337/top
@@ -43,6 +49,9 @@ func main() {
 		addr      = flag.String("addr", ":8337", "HTTP listen address")
 		data      = flag.String("data", "", "store directory for WAL + snapshots (empty: in-memory only)")
 		graphIn   = flag.String("graph", "", "bootstrap graph file (\"n m\" + \"u v\" edge-list format)")
+		indexIn   = flag.String("index", "", "bootstrap from a serialized index file (v1/v2/v3) instead of building one")
+		useMmap   = flag.Bool("mmap", false, "with -index and a v3 file: mmap the label arena instead of reading it (serve before labels page in)")
+		compress  = flag.Bool("compress", false, "build with compressed label storage (delta+varint frozen arena + bloom-screened joins)")
 		vertices  = flag.Int("vertices", 0, "bootstrap an empty graph with this many vertices (when -graph is unset)")
 		topK      = flag.Int("k", 0, "maintain a top-k cycle-count watchlist and serve /top")
 		maxBatch  = flag.Int("max-batch", 256, "max update ops applied per grace period")
@@ -67,7 +76,28 @@ func main() {
 		log.Fatalf("cscd: %v", err)
 	}
 
+	buildOpts := []cyclehub.Option{cyclehub.WithWorkers(*workers)}
+	if *compress {
+		buildOpts = append(buildOpts, cyclehub.WithCompression())
+	}
 	bootstrap := func() (*cyclehub.Index, error) {
+		if *indexIn != "" {
+			if *graphIn != "" {
+				return nil, errors.New("-index and -graph are mutually exclusive")
+			}
+			t0 := time.Now()
+			ix, err := cyclehub.ReadIndexFile(*indexIn, *useMmap)
+			if err != nil {
+				return nil, fmt.Errorf("load %s: %w", *indexIn, err)
+			}
+			mode := "read"
+			if *useMmap {
+				mode = "mmap"
+			}
+			log.Printf("index loaded (%s) from %s in %s (%d label entries)",
+				mode, *indexIn, time.Since(t0).Round(time.Millisecond), ix.Stats().Entries)
+			return ix, nil
+		}
 		if *graphIn != "" {
 			f, err := os.Open(*graphIn)
 			if err != nil {
@@ -80,15 +110,15 @@ func main() {
 			}
 			log.Printf("building index over %s: %d vertices, %d edges", *graphIn, g.NumVertices(), g.NumEdges())
 			t0 := time.Now()
-			ix := cyclehub.BuildIndex(g, cyclehub.WithWorkers(*workers))
+			ix := cyclehub.BuildIndex(g, buildOpts...)
 			log.Printf("index built in %s (%d label entries)", time.Since(t0).Round(time.Millisecond), ix.Stats().Entries)
 			return ix, nil
 		}
 		if *vertices <= 0 {
-			return nil, errors.New("empty store: need -graph or -vertices to bootstrap")
+			return nil, errors.New("empty store: need -graph, -index, or -vertices to bootstrap")
 		}
 		log.Printf("bootstrapping empty graph with %d vertices", *vertices)
-		return cyclehub.BuildIndex(cyclehub.NewGraph(*vertices)), nil
+		return cyclehub.BuildIndex(cyclehub.NewGraph(*vertices), buildOpts...), nil
 	}
 
 	opts := []cyclehub.EngineOption{

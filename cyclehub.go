@@ -116,6 +116,19 @@ func WithMonolithic() Option {
 	return func(c *buildConfig) { c.monolithic = true }
 }
 
+// WithCompression stores the labels in the frozen delta+varint arena
+// instead of the mutable 8-byte-entry form: hubs are rank-sorted, so
+// consecutive gaps encode in one or two bytes, and each list carries a
+// bloom signature of its hub set that screens non-intersecting joins
+// before any entry decodes. Answers are byte-identical to the
+// uncompressed form; edge updates thaw only the touched lists and the
+// serving engine re-freezes them on the next quiet moment. A compressed
+// sharded index serializes as the mmap-able v3 format (see
+// ReadIndexFile).
+func WithCompression() Option {
+	return func(c *buildConfig) { c.opts.CompressLabels = true }
+}
+
 // Index answers CycleCount queries on a dynamic directed graph.
 type Index struct {
 	x csc.Counter
@@ -268,6 +281,21 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.x.WriteTo(w) }
 // immediately queryable and maintainable.
 func ReadIndex(r io.Reader) (*Index, error) {
 	x, err := csc.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{x: x}, nil
+}
+
+// ReadIndexFile loads an index file by path. With useMmap and a v3 file
+// (a compressed sharded index, see WithCompression), the label sections
+// alias a read-only mapping of the file: the index serves its first
+// query after a structural check only, and label bytes page in from disk
+// on first touch — the cold-start path for indexes larger than RAM.
+// Non-v3 files and platforms without mmap support fall back to a normal
+// strict read, so the flag is always safe to pass.
+func ReadIndexFile(path string, useMmap bool) (*Index, error) {
+	x, err := csc.ReadFile(path, useMmap)
 	if err != nil {
 		return nil, err
 	}

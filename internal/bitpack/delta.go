@@ -1,0 +1,90 @@
+package bitpack
+
+import "encoding/binary"
+
+// Delta+varint codec for frozen label lists. A list's entries are in
+// strictly ascending hub order, and hubs are rank positions (small,
+// dense after rank-sorting), so consecutive hub gaps are tiny — almost
+// always a single varint byte. Each entry encodes as
+//
+//	hub   uvarint  absolute at a block start, gap (≥ 1) otherwise
+//	dist  uvarint
+//	count uvarint
+//
+// in blocks of DeltaBlock entries. Every block restarts with an
+// absolute hub, so a seek structure (label.Frozen's sync records) can
+// jump to any block boundary and decode forward without the preceding
+// stream. Typical cost is 3-4 bytes per entry against the 8-byte packed
+// form (plus arena padding).
+//
+// Decoding is panic-free on arbitrary bytes: a truncated or malformed
+// stream reports !ok instead of running past the slice.
+
+// DeltaBlock is the codec's restart interval: every DeltaBlock-th entry
+// stores its hub absolutely instead of as a gap.
+const DeltaBlock = 32
+
+// AppendDeltaBlocks appends the block-structured delta+varint encoding
+// of es to dst and returns the extended slice. If sync is non-nil it is
+// called once per block with the block's starting hub and the block's
+// byte offset relative to the start of this encoding.
+func AppendDeltaBlocks(dst []byte, es []Entry, sync func(startHub, off uint32)) []byte {
+	base := len(dst)
+	prev := 0
+	for i, e := range es {
+		h := e.Hub()
+		if i%DeltaBlock == 0 {
+			if sync != nil {
+				sync(uint32(h), uint32(len(dst)-base))
+			}
+			dst = binary.AppendUvarint(dst, uint64(h))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(h-prev))
+		}
+		prev = h
+		dst = binary.AppendUvarint(dst, uint64(e.Dist()))
+		dst = binary.AppendUvarint(dst, e.Count())
+	}
+	return dst
+}
+
+// DecodeDeltaBlocks streams n entries out of data, calling fn for each;
+// decoding stops early when fn returns false. It returns the number of
+// bytes consumed and whether all requested entries decoded cleanly
+// (false on truncation, a varint overflow, or a field outside its
+// packed width — the corrupt-input cases a reader must reject).
+func DecodeDeltaBlocks(data []byte, n int, fn func(Entry) bool) (consumed int, ok bool) {
+	pos, hub := 0, 0
+	for i := 0; i < n; i++ {
+		v, w := binary.Uvarint(data[pos:])
+		if w <= 0 || v > MaxHub {
+			return pos, false
+		}
+		pos += w
+		if i%DeltaBlock == 0 {
+			hub = int(v)
+		} else {
+			if v == 0 {
+				return pos, false // gaps are ≥ 1: hubs strictly ascend
+			}
+			hub += int(v)
+		}
+		if hub > MaxHub {
+			return pos, false
+		}
+		d, w := binary.Uvarint(data[pos:])
+		if w <= 0 || d > MaxDist {
+			return pos, false
+		}
+		pos += w
+		c, w := binary.Uvarint(data[pos:])
+		if w <= 0 || c > MaxCount {
+			return pos, false
+		}
+		pos += w
+		if !fn(Pack(hub, int(d), c)) {
+			return pos, true
+		}
+	}
+	return pos, true
+}

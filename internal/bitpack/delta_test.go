@@ -1,0 +1,159 @@
+package bitpack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func entryBytes(es []Entry) []byte {
+	out := make([]byte, 0, 8*len(es))
+	for _, e := range es {
+		out = binary.LittleEndian.AppendUint64(out, uint64(e))
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, es []Entry) {
+	t.Helper()
+	var syncs []uint32
+	enc := AppendDeltaBlocks(nil, es, func(h, off uint32) { syncs = append(syncs, h, off) })
+	var got []Entry
+	consumed, ok := DecodeDeltaBlocks(enc, len(es), func(e Entry) bool {
+		got = append(got, e)
+		return true
+	})
+	if !ok || consumed != len(enc) {
+		t.Fatalf("decode consumed %d of %d bytes, ok=%v", consumed, len(enc), ok)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(es))
+	}
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("entry %d: got %x want %x", i, got[i], es[i])
+		}
+	}
+	wantBlocks := (len(es) + DeltaBlock - 1) / DeltaBlock
+	if len(syncs) != 2*wantBlocks {
+		t.Fatalf("%d sync pairs, want %d", len(syncs)/2, wantBlocks)
+	}
+	// Every sync offset must point at its block's absolute hub.
+	for b := 0; b < wantBlocks; b++ {
+		h, off := syncs[2*b], syncs[2*b+1]
+		v, w := binary.Uvarint(enc[off:])
+		if w <= 0 || uint32(v) != h {
+			t.Fatalf("block %d: sync hub %d, stream says %d", b, h, v)
+		}
+		if int(h) != es[b*DeltaBlock].Hub() {
+			t.Fatalf("block %d: sync hub %d, entry hub %d", b, h, es[b*DeltaBlock].Hub())
+		}
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	cases := [][]Entry{
+		nil,
+		{Pack(0, 0, 0)},                     // single entry, all-zero fields
+		{Pack(MaxHub, MaxDist, MaxCount)},   // single entry, max fields
+		{Pack(0, 3, 7), Pack(1, 0, 1)},      // minimal gap
+		{Pack(5, 1, 2), Pack(MaxHub, 9, 4)}, // max gap
+	}
+	// Dense run crossing several block boundaries.
+	var dense []Entry
+	for h := 0; h < 3*DeltaBlock+5; h++ {
+		dense = append(dense, Pack(h, h%17, uint64(h%9)+1))
+	}
+	cases = append(cases, dense)
+	// Sparse run with growing gaps.
+	var sparse []Entry
+	for h := 1; h < MaxHub; h = h*3 + 1 {
+		sparse = append(sparse, Pack(h, h%MaxDist, uint64(h)%MaxCount))
+	}
+	cases = append(cases, sparse)
+	for i, es := range cases {
+		t.Run(string(rune('a'+i)), func(t *testing.T) { roundTrip(t, es) })
+	}
+}
+
+func TestDecodeDeltaRejectsCorrupt(t *testing.T) {
+	es := []Entry{Pack(1, 2, 3), Pack(4, 5, 6), Pack(9, 0, 1)}
+	enc := AppendDeltaBlocks(nil, es, nil)
+	// Every strict prefix must fail to produce all entries.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, ok := DecodeDeltaBlocks(enc[:cut], len(es), func(Entry) bool { return true }); ok {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", cut, len(enc))
+		}
+	}
+	// A zero gap (duplicate hub) must be rejected.
+	dup := AppendDeltaBlocks(nil, []Entry{Pack(3, 1, 1)}, nil)
+	dup = append(dup, 0, 1, 1) // gap 0, dist 1, count 1
+	if _, ok := DecodeDeltaBlocks(dup, 2, func(Entry) bool { return true }); ok {
+		t.Fatal("zero hub gap decoded cleanly")
+	}
+}
+
+func TestDecodeDeltaEarlyStop(t *testing.T) {
+	es := []Entry{Pack(1, 2, 3), Pack(4, 5, 6), Pack(9, 0, 1)}
+	enc := AppendDeltaBlocks(nil, es, nil)
+	seen := 0
+	_, ok := DecodeDeltaBlocks(enc, len(es), func(Entry) bool {
+		seen++
+		return seen < 2
+	})
+	if !ok || seen != 2 {
+		t.Fatalf("early stop: ok=%v seen=%d", ok, seen)
+	}
+}
+
+// FuzzDeltaRoundTrip drives the codec both ways: structured inputs must
+// round-trip exactly, and arbitrary bytes must never panic or over-read
+// the decoder.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{1, 0, 1}, uint16(1))          // single entry
+	f.Add([]byte{0, 0, 0, 1, 0, 0}, uint16(2)) // zero-gap-ish stream
+	max := AppendDeltaBlocks(nil, []Entry{Pack(0, 0, 1), Pack(MaxHub, MaxDist, MaxCount)}, nil)
+	f.Add(max, uint16(2)) // max-gap pair
+	var dense []Entry
+	for h := 0; h < DeltaBlock+3; h++ {
+		dense = append(dense, Pack(h, 1, 1))
+	}
+	f.Add(AppendDeltaBlocks(nil, dense, nil), uint16(len(dense)))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16) {
+		// Arbitrary bytes: must not panic, must not report consuming more
+		// than it was given.
+		var first []Entry
+		consumed, ok := DecodeDeltaBlocks(data, int(n), func(e Entry) bool {
+			first = append(first, e)
+			return true
+		})
+		if consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		if !ok {
+			return
+		}
+		// Anything that decoded cleanly is a valid list: strictly
+		// ascending hubs, fields in range — and it must survive a
+		// re-encode/re-decode round trip entry for entry. (Byte equality
+		// is not required: varints admit non-canonical paddings.)
+		for i := 1; i < len(first); i++ {
+			if first[i].Hub() <= first[i-1].Hub() {
+				t.Fatalf("decoded hubs not ascending: %d then %d", first[i-1].Hub(), first[i].Hub())
+			}
+		}
+		enc := AppendDeltaBlocks(nil, first, nil)
+		var second []Entry
+		c2, ok2 := DecodeDeltaBlocks(enc, len(first), func(e Entry) bool {
+			second = append(second, e)
+			return true
+		})
+		if !ok2 || c2 != len(enc) {
+			t.Fatalf("re-decode failed: ok=%v consumed %d of %d", ok2, c2, len(enc))
+		}
+		if !bytes.Equal(entryBytes(first), entryBytes(second)) {
+			t.Fatalf("round trip changed entries: %v vs %v", first, second)
+		}
+	})
+}

@@ -49,6 +49,12 @@ type Options struct {
 	// Workers sets construction parallelism: 0 uses every core, 1 forces
 	// the sequential path. Labels are identical either way.
 	Workers int
+	// CompressLabels freezes finished labels into the delta+varint
+	// compressed arena (label.Frozen): queries stream compressed sections
+	// behind bloom pre-screens, updates thaw only the lists they touch,
+	// and the engine re-freezes on quiesce. Sharded indexes built with it
+	// serialize as the mmap-able v3 format.
+	CompressLabels bool
 }
 
 // Build converts g, lifts the ordering, and constructs the CSC labeling.
@@ -69,6 +75,11 @@ func Build(g *graph.Digraph, ord *order.Order, opts Options) (*Index, pll.BuildS
 		eng = buildSkipping(gb, lifted, opts.Workers)
 		eng.Strategy = opts.Strategy
 		eng.HubFilter = bipartite.IsIn
+	}
+	if opts.CompressLabels {
+		// Every build path — monolithic, per-shard, scoped rebuilds — funnels
+		// through here, so compression survives any dynamic reconstruction.
+		eng.FreezeCompressed()
 	}
 	idx := &Index{g: g, eng: eng}
 	st := eng.Stats()
@@ -286,3 +297,12 @@ func (x *Index) EntryCount() int { return x.eng.EntryCount() }
 
 // Bytes returns the unreduced label footprint (8 bytes per entry).
 func (x *Index) Bytes() int { return x.eng.Bytes() }
+
+// RefreezeLabels re-packs label lists thawed by updates back into the
+// compressed arena, returning how many lists re-encoded (0 when labels
+// are uncompressed or nothing thawed). The engine calls it on quiesce.
+func (x *Index) RefreezeLabels() int { return x.eng.Refreeze() }
+
+// CompressedBytes is the physical compressed label footprint, or 0 when
+// labels live uncompressed.
+func (x *Index) CompressedBytes() int { return x.eng.CompressedBytes() }

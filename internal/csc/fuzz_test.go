@@ -27,17 +27,23 @@ func goldenGraph() *graph.Digraph {
 	return g
 }
 
-func goldenBytes(t *testing.T, sharded bool) []byte {
+func goldenBytes(t *testing.T, version int) []byte {
 	t.Helper()
 	g := goldenGraph()
 	var buf bytes.Buffer
-	if sharded {
+	switch version {
+	case 1:
+		x, _ := Build(g, order.ByDegree(g), Options{Workers: 1})
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	case 2:
 		x, _ := BuildSharded(g, Options{Workers: 1})
 		if _, err := x.WriteTo(&buf); err != nil {
 			t.Fatal(err)
 		}
-	} else {
-		x, _ := Build(g, order.ByDegree(g), Options{Workers: 1})
+	case 3:
+		x, _ := BuildSharded(g, Options{Workers: 1, CompressLabels: true})
 		if _, err := x.WriteTo(&buf); err != nil {
 			t.Fatal(err)
 		}
@@ -45,24 +51,26 @@ func goldenBytes(t *testing.T, sharded bool) []byte {
 	return buf.Bytes()
 }
 
-// TestGoldenFiles pins both on-disk formats: the checked-in v1 and v2
-// files must load, answer exactly the oracle counts, and re-serialize to
-// the stored bytes. A failure means the format changed — bump the magic
-// and keep the old reader instead of breaking deployed index files.
+// TestGoldenFiles pins all three on-disk formats: the checked-in v1, v2,
+// and v3 files must load, answer exactly the oracle counts, and
+// re-serialize to the stored bytes. A failure means the format changed —
+// bump the magic and keep the old reader instead of breaking deployed
+// index files.
 func TestGoldenFiles(t *testing.T) {
 	for _, tc := range []struct {
 		file    string
-		sharded bool
+		version int
 	}{
-		{"golden_v1.csc", false},
-		{"golden_v2.csc", true},
+		{"golden_v1.csc", 1},
+		{"golden_v2.csc", 2},
+		{"golden_v3.csc", 3},
 	} {
 		path := filepath.Join("testdata", tc.file)
 		if *updateGolden {
 			if err := os.MkdirAll("testdata", 0o755); err != nil {
 				t.Fatal(err)
 			}
-			if err := os.WriteFile(path, goldenBytes(t, tc.sharded), 0o644); err != nil {
+			if err := os.WriteFile(path, goldenBytes(t, tc.version), 0o644); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -70,7 +78,7 @@ func TestGoldenFiles(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v (run with -update-golden to create)", tc.file, err)
 		}
-		if want := goldenBytes(t, tc.sharded); !bytes.Equal(data, want) {
+		if want := goldenBytes(t, tc.version); !bytes.Equal(data, want) {
 			t.Fatalf("%s: stored bytes differ from a fresh sequential build's serialization", tc.file)
 		}
 		loaded, err := Read(bytes.NewReader(data))
@@ -95,11 +103,11 @@ func TestGoldenFiles(t *testing.T) {
 
 // FuzzRead throws arbitrary bytes at the format dispatcher: no input may
 // panic or hang, and anything that parses must re-serialize stably and
-// answer queries in range. Seeds cover both formats plus targeted
-// corruptions of the v2 shard table.
+// answer queries in range. Seeds cover all three formats plus targeted
+// corruptions of the v2 shard table and the v3 label arena.
 func FuzzRead(f *testing.F) {
 	g := goldenGraph()
-	var v1, v2 bytes.Buffer
+	var v1, v2, v3 bytes.Buffer
 	mono, _ := Build(g.Clone(), order.ByDegree(g), Options{Workers: 1})
 	if _, err := mono.WriteTo(&v1); err != nil {
 		f.Fatal(err)
@@ -108,8 +116,13 @@ func FuzzRead(f *testing.F) {
 	if _, err := sh.WriteTo(&v2); err != nil {
 		f.Fatal(err)
 	}
+	comp, _ := BuildSharded(g.Clone(), Options{Workers: 1, CompressLabels: true})
+	if _, err := comp.WriteTo(&v3); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(v1.Bytes())
 	f.Add(v2.Bytes())
+	f.Add(v3.Bytes())
 	// Truncations: every prefix of a valid file is invalid, and the loader
 	// must say so rather than crash.
 	for _, cut := range []int{1, 8, 9, 13, 21, v2.Len() / 2, v2.Len() - 1} {
@@ -117,10 +130,25 @@ func FuzzRead(f *testing.F) {
 			f.Add(v2.Bytes()[:cut])
 		}
 	}
+	for _, cut := range []int{9, 21, v3.Len() / 2, v3.Len() - 1} {
+		if cut < v3.Len() {
+			f.Add(v3.Bytes()[:cut])
+		}
+	}
 	// Shard-table corruptions: flip bytes around the table region.
 	for _, off := range []int{17, 25, 40, 60} {
 		if off < v2.Len() {
 			mut := append([]byte(nil), v2.Bytes()...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	// v3 corruptions: the shard table up front, then the back half of the
+	// file, which is where the frozen label arenas (offsets + delta blobs)
+	// live — the strict reader's per-list validation must catch these.
+	for _, off := range []int{17, 25, v3.Len() / 2, 3 * v3.Len() / 4, v3.Len() - 2} {
+		if off >= 0 && off < v3.Len() {
+			mut := append([]byte(nil), v3.Bytes()...)
 			mut[off] ^= 0xff
 			f.Add(mut)
 		}
@@ -154,13 +182,24 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
-// Every strict prefix of a valid v2 file must fail to parse — the loader
-// may never silently accept a truncated shard section.
+// Every strict prefix of a valid v2 or v3 file must fail to parse — the
+// loader may never silently accept a truncated shard section or label
+// arena. For v3 the parser also rejects trailing garbage, so extensions
+// of a valid file fail too.
 func TestShardedReadAllPrefixesFail(t *testing.T) {
-	full := goldenBytes(t, true)
-	for cut := 0; cut < len(full); cut++ {
-		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
-			t.Fatalf("prefix of %d/%d bytes parsed successfully", cut, len(full))
+	for _, version := range []int{2, 3} {
+		full := goldenBytes(t, version)
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+				t.Fatalf("v%d: prefix of %d/%d bytes parsed successfully", version, cut, len(full))
+			}
+		}
+	}
+	v3 := goldenBytes(t, 3)
+	for _, extra := range [][]byte{{0}, {0xff}, {1, 2, 3, 4}} {
+		ext := append(append([]byte(nil), v3...), extra...)
+		if _, err := Read(bytes.NewReader(ext)); err == nil {
+			t.Fatalf("v3 file with %d trailing bytes parsed successfully", len(extra))
 		}
 	}
 }

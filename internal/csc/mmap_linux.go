@@ -1,0 +1,31 @@
+//go:build linux
+
+package csc
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The mapping is deliberately never
+// unmapped: ReadFile hands its bytes to live label sections that must
+// stay valid for the process lifetime.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, fmt.Errorf("csc: mmap of empty file %s", path)
+	}
+	if st.Size() > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("csc: %s too large to map", path)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}

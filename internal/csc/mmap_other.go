@@ -1,0 +1,11 @@
+//go:build !linux
+
+package csc
+
+import "os"
+
+// mmapFile falls back to a full read where the mmap path is not wired
+// up; ReadFile still gets a valid byte image, just an eagerly loaded one.
+func mmapFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -404,6 +404,30 @@ func (x *Sharded) EntryCount() int {
 // Bytes is the label footprint (8 bytes per entry).
 func (x *Sharded) Bytes() int { return 8 * x.EntryCount() }
 
+// RefreezeLabels re-packs every shard's thawed label lists back into
+// its compressed arena, returning the total lists re-encoded.
+func (x *Sharded) RefreezeLabels() int {
+	total := 0
+	for _, sh := range x.shards {
+		if sh != nil {
+			total += sh.idx.RefreezeLabels()
+		}
+	}
+	return total
+}
+
+// CompressedBytes sums the physical compressed label footprint across
+// shards (0 when labels are uncompressed).
+func (x *Sharded) CompressedBytes() int {
+	total := 0
+	for _, sh := range x.shards {
+		if sh != nil {
+			total += sh.idx.CompressedBytes()
+		}
+	}
+	return total
+}
+
 // ReducedBytes sums the couple-merged footprint across shards.
 func (x *Sharded) ReducedBytes() int {
 	total := 0

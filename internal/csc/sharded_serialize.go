@@ -35,15 +35,24 @@ import (
 
 const shardedMagic = "CSCIDX02"
 
-// maxShardedVertices bounds the v2 header's global vertex count: far
-// above the per-shard hub encoding limit (sharding exists precisely so a
-// huge DAG-heavy graph with small components stays loadable), but low
-// enough that a corrupt header cannot demand tens of gigabytes of
-// vertex tables before any validation runs.
-const maxShardedVertices = 1 << 27
+// maxShardedVertices bounds the v2/v3 header's global vertex count. The
+// loader allocates ~56 bytes of adjacency and shard-map state per claimed
+// vertex and validates the shard table with a full SCC pass, both before
+// the body proves itself — so the bound is calibrated to keep a hostile
+// 25-byte header (huge n, zero edges, zero shards) to ~120MB and a
+// fraction of a second rather than gigabytes and minutes. It still sits
+// far above the per-shard hub encoding limit's practical reach for this
+// codebase; a graph beyond it needs a format revision, not a bigger
+// constant.
+const maxShardedVertices = 1 << 21
 
-// WriteTo serializes the sharded index in the v2 format.
+// WriteTo serializes the sharded index: the compressed v3 format when
+// the index was built with Options.CompressLabels, the v2 format
+// otherwise.
 func (x *Sharded) WriteTo(w io.Writer) (int64, error) {
+	if x.opts.CompressLabels {
+		return x.writeV3(w)
+	}
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }

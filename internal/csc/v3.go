@@ -1,0 +1,427 @@
+package csc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bipartite"
+	"repro/internal/bitpack"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/order"
+	"repro/internal/partition"
+	"repro/internal/pll"
+)
+
+// Sharded binary format v3 (little endian): the compressed-label form of
+// v2. The structural layout is flat — no embedded self-delimiting blobs —
+// so a single parse over one byte slice computes every section's offsets
+// without copying, which is what lets the label bytes alias a read-only
+// mmap of the file: a cold daemon validates the (small) graph and shard
+// table up front and serves queries while label pages fault in on demand.
+//
+//	magic    [8]byte  "CSCIDX03"
+//	n        uint32   global vertex count
+//	m        uint32   global edge count
+//	strategy uint8
+//	edges    m × (uint32, uint32)
+//	shards   uint32   number of non-trivial components
+//	per shard, ordered by smallest member vertex:
+//	  size    uint32  member count (≥ 2)
+//	  verts   size × uint32, strictly increasing (position = local id)
+//	  nb      uint32  Gb vertex count of the converted subgraph (= 2·size)
+//	  mb      uint32  Gb edge count
+//	  gbedges mb × (uint32, uint32)
+//	  order   nb × uint32           vertexAt, highest rank first
+//	  entries uint64                total label entries (cross-check)
+//	  off     4·(2·nb+1) bytes      label.Frozen offset table, raw LE
+//	  bloblen uint64
+//	  blob    bloblen bytes         label.Frozen section blob
+//
+// Label lists are ordered In[0..nb) then Out[0..nb) — the order
+// pll.Index.FreezeCompressed packs and AttachFrozen expects. Stream loads
+// (csc.Read) run the strict full decode over every label section; mmap
+// loads check only the structural invariants so label pages stay cold.
+
+const v3Magic = "CSCIDX03"
+
+// writeV3 serializes the sharded index with compressed label arenas.
+// Shards whose updates thawed lists re-freeze first (verbatim section
+// copies for the untouched lists), so the written arena is current.
+func (x *Sharded) writeV3(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+
+	if _, err := bw.WriteString(v3Magic); err != nil {
+		return cw.n, err
+	}
+	n := x.g.NumVertices()
+	if err := write(uint32(n)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(x.g.NumEdges())); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint8(x.opts.Strategy)); err != nil {
+		return cw.n, err
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range x.g.Out(u) {
+			if err := write(uint32(u)); err != nil {
+				return cw.n, err
+			}
+			if err := write(uint32(v)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	live := x.liveShards()
+	if err := write(uint32(len(live))); err != nil {
+		return cw.n, err
+	}
+	for _, sh := range live {
+		if err := write(uint32(len(sh.verts))); err != nil {
+			return cw.n, err
+		}
+		for _, v := range sh.verts {
+			if err := write(uint32(v)); err != nil {
+				return cw.n, err
+			}
+		}
+		eng := sh.idx.eng
+		if !eng.Compressed() {
+			eng.FreezeCompressed()
+		}
+		eng.Refreeze()
+		gb := eng.G
+		nb := gb.NumVertices()
+		if err := write(uint32(nb)); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint32(gb.NumEdges())); err != nil {
+			return cw.n, err
+		}
+		for u := 0; u < nb; u++ {
+			for _, v := range gb.Out(u) {
+				if err := write(uint32(u)); err != nil {
+					return cw.n, err
+				}
+				if err := write(uint32(v)); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+		for r := 0; r < nb; r++ {
+			if err := write(uint32(eng.Ord.VertexAt(r))); err != nil {
+				return cw.n, err
+			}
+		}
+		f := eng.FrozenArena()
+		off, blob := f.Raw()
+		if err := write(uint64(f.Entries())); err != nil {
+			return cw.n, err
+		}
+		if _, err := bw.Write(off); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint64(len(blob))); err != nil {
+			return cw.n, err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return cw.n, err
+		}
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
+// v3parser walks a v3 byte image with bounds-checked reads; take slices
+// alias the image (zero-copy — the point of the flat layout).
+type v3parser struct {
+	data []byte
+	pos  int
+}
+
+func (p *v3parser) take(n int) ([]byte, error) {
+	if n < 0 || p.pos+n > len(p.data) || p.pos+n < p.pos {
+		return nil, fmt.Errorf("%w: truncated at byte %d", pll.ErrBadFormat, p.pos)
+	}
+	b := p.data[p.pos : p.pos+n]
+	p.pos += n
+	return b, nil
+}
+
+func (p *v3parser) u32() (uint32, error) {
+	b, err := p.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (p *v3parser) u64() (uint64, error) {
+	b, err := p.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// parseV3 loads a complete v3 image. With lazyLabels the label sections
+// are only structurally checked (offset-table invariants), never
+// decoded — the mmap cold-start path; stream loads pass false and get
+// the full strict per-entry validation.
+func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", pll.ErrBadFormat, fmt.Sprintf(format, args...))
+	}
+	p := &v3parser{data: data}
+	magic, err := p.take(8)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != v3Magic {
+		return nil, bad("bad magic %q", magic)
+	}
+	n32, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
+	m32, err := p.u32()
+	if err != nil {
+		return nil, err
+	}
+	sb, err := p.take(1)
+	if err != nil {
+		return nil, err
+	}
+	strat := pll.Strategy(sb[0])
+	n, m := int(n32), int(m32)
+	if n > maxShardedVertices {
+		return nil, bad("vertex count %d exceeds limit %d", n, maxShardedVertices)
+	}
+	if strat != pll.Redundancy && strat != pll.Minimality {
+		return nil, bad("unknown strategy %d", sb[0])
+	}
+	if int64(m32) > int64(n)*int64(n-1) {
+		return nil, bad("edge count %d impossible for %d vertices", m, n)
+	}
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, err := p.u32()
+		if err != nil {
+			return nil, bad("truncated edges")
+		}
+		v, err := p.u32()
+		if err != nil {
+			return nil, bad("truncated edges")
+		}
+		if err := g.AddEdge(int(u), int(v)); err != nil {
+			return nil, bad("edge (%d,%d): %v", u, v, err)
+		}
+	}
+	shardCount, err := p.u32()
+	if err != nil {
+		return nil, bad("truncated shard table")
+	}
+	if int(shardCount) > n/2 {
+		return nil, bad("%d shards impossible for %d vertices", shardCount, n)
+	}
+
+	x := &Sharded{
+		g:       g,
+		opts:    Options{Strategy: strat, CompressLabels: true},
+		shardOf: make([]int32, n),
+		localID: make([]int32, n),
+	}
+	for v := range x.shardOf {
+		x.shardOf[v] = -1
+		x.localID[v] = -1
+	}
+	for sid := 0; sid < int(shardCount); sid++ {
+		size32, err := p.u32()
+		if err != nil {
+			return nil, bad("truncated shard %d header", sid)
+		}
+		size := int(size32)
+		if size < 2 || size > n {
+			return nil, bad("shard %d has %d vertices", sid, size)
+		}
+		verts := make([]int32, size)
+		prev := int32(-1)
+		for i := range verts {
+			v, err := p.u32()
+			if err != nil {
+				return nil, bad("truncated shard %d members", sid)
+			}
+			if int(v) >= n || int32(v) <= prev {
+				return nil, bad("shard %d member %d out of order or range", sid, v)
+			}
+			if x.shardOf[v] != -1 {
+				return nil, bad("vertex %d claimed by two shards", v)
+			}
+			prev = int32(v)
+			verts[i] = int32(v)
+			x.shardOf[v] = int32(sid)
+			x.localID[v] = int32(i)
+		}
+		nb32, err := p.u32()
+		if err != nil {
+			return nil, bad("truncated shard %d body", sid)
+		}
+		nb := int(nb32)
+		if nb != 2*size {
+			return nil, bad("shard %d Gb has %d vertices for %d members", sid, nb, size)
+		}
+		if nb > bitpack.MaxHub+1 {
+			return nil, bad("shard %d Gb vertex count %d exceeds encoding limit", sid, nb)
+		}
+		mb32, err := p.u32()
+		if err != nil {
+			return nil, bad("truncated shard %d body", sid)
+		}
+		if int64(mb32) > int64(nb)*int64(nb-1) {
+			return nil, bad("shard %d Gb edge count %d impossible", sid, mb32)
+		}
+		gb := graph.New(nb)
+		for i := 0; i < int(mb32); i++ {
+			u, err := p.u32()
+			if err != nil {
+				return nil, bad("truncated shard %d Gb edges", sid)
+			}
+			v, err := p.u32()
+			if err != nil {
+				return nil, bad("truncated shard %d Gb edges", sid)
+			}
+			if err := gb.AddEdge(int(u), int(v)); err != nil {
+				return nil, bad("shard %d Gb edge (%d,%d): %v", sid, u, v, err)
+			}
+		}
+		vertexAt := make([]int, nb)
+		for r := range vertexAt {
+			v, err := p.u32()
+			if err != nil {
+				return nil, bad("truncated shard %d order", sid)
+			}
+			if int(v) >= nb {
+				return nil, bad("shard %d order vertex %d out of range", sid, v)
+			}
+			vertexAt[r] = int(v)
+		}
+		ord, err := order.FromVertexList(vertexAt)
+		if err != nil {
+			return nil, bad("shard %d order: %v", sid, err)
+		}
+		entries, err := p.u64()
+		if err != nil {
+			return nil, bad("truncated shard %d label header", sid)
+		}
+		off, err := p.take(4 * (2*nb + 1))
+		if err != nil {
+			return nil, bad("truncated shard %d offset table", sid)
+		}
+		blobLen, err := p.u64()
+		if err != nil {
+			return nil, bad("truncated shard %d label header", sid)
+		}
+		if blobLen > uint64(len(data)) {
+			return nil, bad("shard %d blob of %d bytes overruns the file", sid, blobLen)
+		}
+		blob, err := p.take(int(blobLen))
+		if err != nil {
+			return nil, bad("truncated shard %d label blob", sid)
+		}
+		f, err := label.NewFrozen(off, blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %v", pll.ErrBadFormat, sid, err)
+		}
+		if uint64(f.Entries()) != entries {
+			return nil, bad("shard %d arena holds %d entries, header says %d", sid, f.Entries(), entries)
+		}
+		if !lazyLabels {
+			if err := f.Validate(nb); err != nil {
+				return nil, fmt.Errorf("%w: shard %d: %v", pll.ErrBadFormat, sid, err)
+			}
+		}
+		eng := pll.NewEmpty(gb, ord)
+		eng.Strategy = strat
+		eng.HubFilter = bipartite.IsIn
+		if err := eng.AttachFrozen(f); err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %v", pll.ErrBadFormat, sid, err)
+		}
+		sub, err := originalFromGb(gb)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", sid, err)
+		}
+		if sub.NumVertices() != size {
+			return nil, bad("shard %d labeling covers %d vertices, table says %d", sid, sub.NumVertices(), size)
+		}
+		if !graph.Equal(sub, partition.Induced(g, verts)) {
+			return nil, bad("shard %d subgraph does not match the global graph", sid)
+		}
+		x.shards = append(x.shards, &shard{verts: verts, idx: &Index{g: sub, eng: eng}})
+	}
+	if p.pos != len(data) {
+		return nil, bad("%d trailing bytes", len(data)-p.pos)
+	}
+	// The shard table must be exactly the graph's non-trivial SCCs, the
+	// same invariant readSharded enforces.
+	comps := partition.SCC(g).NonTrivial()
+	live := x.liveShards()
+	if len(comps) != len(live) {
+		return nil, bad("shard table has %d components, graph has %d", len(live), len(comps))
+	}
+	for i, comp := range comps {
+		sv := live[i].verts
+		if len(comp) != len(sv) {
+			return nil, bad("shard %d size mismatch with SCC decomposition", i)
+		}
+		for j := range comp {
+			if comp[j] != sv[j] {
+				return nil, bad("shard %d member mismatch with SCC decomposition", i)
+			}
+		}
+	}
+	return x, nil
+}
+
+// readV3 loads a v3 stream: the image is read fully and labels are
+// strictly validated (the trusted path — use ReadFile with mmap for the
+// lazy form).
+func readV3(br *bufio.Reader) (*Sharded, error) {
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", pll.ErrBadFormat, err)
+	}
+	return parseV3(data, false)
+}
+
+// ReadFile loads an index file. With useMmap and a v3 file, the label
+// sections alias a read-only mapping of the file and are only
+// structurally checked: queries serve immediately and label pages fault
+// in on first touch. The mapping lives for the process lifetime (it backs
+// live label sections) and is deliberately never unmapped. Non-v3 files
+// and platforms without mmap support fall back to a normal strict read.
+func ReadFile(path string, useMmap bool) (Counter, error) {
+	if useMmap {
+		if data, err := mmapFile(path); err == nil {
+			if len(data) >= 8 && string(data[:8]) == v3Magic {
+				return parseV3(data, true)
+			}
+			// Not a v3 image: every byte decodes on load anyway, so parse
+			// the mapping as a plain stream.
+			return Read(bytes.NewReader(data))
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -235,6 +235,11 @@ type Stats struct {
 	// durability-lost degraded mode (heals on a successful snapshot).
 	WALRetries uint64 `json:"wal_retries,omitempty"`
 	ReadOnly   bool   `json:"read_only,omitempty"`
+	// CompressedBytes is the frozen-arena label footprint (zero when the
+	// index was not built with compressed labels); LabelsRefrozen counts
+	// thawed lists folded back into the arena at writer quiesce.
+	CompressedBytes int    `json:"compressed_bytes,omitempty"`
+	LabelsRefrozen  uint64 `json:"labels_refrozen,omitempty"`
 	// Degraded lists shard slots currently serving stale answers while an
 	// out-of-band rebuild is pending; OOBRebuilds counts completed
 	// background swaps, OOBSuperseded rebuilds discarded because later
@@ -281,6 +286,7 @@ type Engine struct {
 	batches, snaps      *obs.Counter
 	shed, overload      *obs.Counter
 	walRetries          *obs.Counter
+	refrozen            *obs.Counter
 	walBytes            atomic.Int64
 
 	// Latency histograms and the trace ring, nil without Options.Metrics
@@ -378,7 +384,7 @@ func start(ix csc.Counter, st *Store, seq uint64, opts Options) *Engine {
 		coalesced: &obs.Counter{}, rejected: &obs.Counter{},
 		batches: &obs.Counter{}, snaps: &obs.Counter{},
 		shed: &obs.Counter{}, overload: &obs.Counter{},
-		walRetries: &obs.Counter{},
+		walRetries: &obs.Counter{}, refrozen: &obs.Counter{},
 	}
 	if !opts.NoCache {
 		e.cache = newReadCache(e.n)
@@ -810,6 +816,10 @@ func (e *Engine) Stats() Stats {
 		c, s := ox.OOBRebuilds()
 		st.OOBRebuilds, st.OOBSuperseded = uint64(c), uint64(s)
 	}
+	if cx, ok := e.ix.(interface{ CompressedBytes() int }); ok {
+		st.CompressedBytes = cx.CompressedBytes()
+	}
+	st.LabelsRefrozen = e.refrozen.Load()
 	m.RUnlock()
 	return st
 }
@@ -846,6 +856,7 @@ func (e *Engine) run() {
 			e.applyPending()
 		}
 		stopTimer()
+		e.refreezeQuiesced()
 	}
 	for {
 		select {
@@ -856,6 +867,7 @@ func (e *Engine) run() {
 			case len(e.pending) >= e.opts.MaxBatch || e.opts.FlushInterval < 0:
 				e.applyPending()
 				stopTimer()
+				e.refreezeQuiesced()
 			case timerC == nil:
 				timer = time.NewTimer(e.opts.FlushInterval)
 				timerC = timer.C
@@ -864,6 +876,7 @@ func (e *Engine) run() {
 			timer = nil
 			timerC = nil
 			e.applyPending()
+			e.refreezeQuiesced()
 		case r := <-e.rebuilt:
 			e.finishRebuild(r)
 		case req := <-e.ctl:
@@ -883,6 +896,30 @@ func (e *Engine) run() {
 			}
 			return
 		}
+	}
+}
+
+// refreezeQuiesced folds label lists thawed by dynamic updates back into
+// the compressed frozen arena once the writer has nothing queued. Runs on
+// the writer goroutine at quiesce points (timer flush, full-batch apply,
+// flushAll) so a sustained update storm never pays the arena rebuild —
+// only the first idle moment after one does. On an uncompressed index the
+// type assertion still succeeds (both index forms export RefreezeLabels)
+// but the call is a no-op with no thawed lists, so the lock sweep is the
+// only cost and it is skipped unless a batch just ran.
+func (e *Engine) refreezeQuiesced() {
+	if len(e.pending) > 0 || len(e.mail) > 0 {
+		return
+	}
+	rf, ok := e.ix.(interface{ RefreezeLabels() int })
+	if !ok {
+		return
+	}
+	e.lock.lockAll()
+	n := rf.RefreezeLabels()
+	e.lock.unlockAll()
+	if n > 0 {
+		e.refrozen.Add(uint64(n))
 	}
 }
 

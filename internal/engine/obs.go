@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"runtime"
 	"sort"
 	"strconv"
 	"time"
 
 	"repro/internal/csc"
+	"repro/internal/label"
 	"repro/internal/obs"
 	"repro/internal/pll"
 )
@@ -102,6 +104,37 @@ func (e *Engine) initObs() {
 		m := e.lock.rlock(0)
 		defer m.RUnlock()
 		return float64(e.ix.Bytes())
+	})
+	if cx, ok := e.ix.(interface{ CompressedBytes() int }); ok {
+		reg.GaugeFunc("cscd_label_compressed_bytes", "compressed frozen-arena label footprint in bytes (0 when labels are uncompressed)", func() float64 {
+			m := e.lock.rlock(0)
+			defer m.RUnlock()
+			return float64(cx.CompressedBytes())
+		})
+		reg.GaugeFunc("cscd_label_bytes_per_entry", "compressed label bytes per entry (0 when labels are uncompressed)", func() float64 {
+			m := e.lock.rlock(0)
+			defer m.RUnlock()
+			n := e.ix.EntryCount()
+			b := cx.CompressedBytes()
+			if n == 0 || b == 0 {
+				return 0
+			}
+			return float64(b) / float64(n)
+		})
+	}
+	reg.CounterFunc("cscd_labels_refrozen_total", "thawed label lists folded back into the compressed arena at quiesce", e.refrozen.Load)
+	reg.CounterFunc("cscd_bloom_checks_total", "join calls screened by label bloom signatures", func() uint64 {
+		c, _ := label.BloomStats()
+		return c
+	})
+	reg.CounterFunc("cscd_bloom_rejects_total", "join calls rejected by bloom signatures without decoding an entry", func() uint64 {
+		_, r := label.BloomStats()
+		return r
+	})
+	reg.GaugeFunc("cscd_heap_inuse_bytes", "Go heap bytes in live spans (mmap'd label arenas are file-backed and excluded)", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse)
 	})
 
 	e.joinNS = reg.Histogram("cscd_query_join_seconds", "cache-miss label-join latency")

@@ -57,10 +57,16 @@ type BenchResult struct {
 	// and dirty-rescore vs full-rescore top-k maintenance (queries.go).
 	Query *QueryThroughputRow `json:"query,omitempty"`
 
-	// Churn is set on the CHURN-* rows the suite appends last: read-tail
-	// latency under structural churn, inline rebuilds vs out-of-band
-	// deferral (churn.go).
+	// Churn is set on the CHURN-* rows the suite appends after QRY-*:
+	// read-tail latency under structural churn, inline rebuilds vs
+	// out-of-band deferral (churn.go).
 	Churn *ChurnRow `json:"churn,omitempty"`
+
+	// Storage is set on the MEM-* rows the suite appends last: the
+	// compressed frozen-arena footprint vs the mutable representation,
+	// bloom pre-screen reject rate, and v3 cold-start latency
+	// (storage.go).
+	Storage *StorageRow `json:"storage,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -204,6 +210,20 @@ func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 			N:          row.N,
 			M:          row.M,
 			Churn:      &row,
+		})
+	}
+	for _, row := range Storage(s) {
+		row := row
+		out = append(out, BenchResult{
+			Dataset:    "MEM-" + row.Family,
+			Scale:      s.String(),
+			Workers:    Workers,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			N:          row.N,
+			M:          row.M,
+			Entries:    row.Entries,
+			Bytes:      row.CompressedBytes,
+			Storage:    &row,
 		})
 	}
 	return out

@@ -446,3 +446,44 @@ func TestShardingExperiment(t *testing.T) {
 		t.Fatal("table missing family name")
 	}
 }
+
+func TestStorageExperiment(t *testing.T) {
+	rows := Storage(Tiny)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byFam := map[string]StorageRow{}
+	for _, r := range rows {
+		if r.N == 0 || r.Entries == 0 || r.CompressedBytes == 0 || r.UncompressedBytes == 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.FileBytes == 0 || r.ColdLoadNS <= 0 || r.MmapLoadNS <= 0 {
+			t.Fatalf("cold-start leg missing from row %+v", r)
+		}
+		byFam[r.Family] = r
+	}
+	// The headline gate: on the DAG-heavy family the frozen delta+varint
+	// arena must be ≥2x smaller per entry than the uncompressed CSR
+	// arena, and the bloom signatures must actually screen joins on the
+	// mostly-acyclic query sweep.
+	dag := byFam["dag-heavy"]
+	if dag.Reduction < 2 {
+		t.Fatalf("dag-heavy frozen arena only %.2fx smaller than the mutable arena, want ≥2x: %+v", dag.Reduction, dag)
+	}
+	if dag.BytesPerEntry >= 8 {
+		t.Fatalf("dag-heavy frozen arena %.2f bytes/entry, not below the 8-byte packed entry: %+v", dag.BytesPerEntry, dag)
+	}
+	if dag.BloomChecks == 0 || dag.BloomRejects == 0 {
+		t.Fatalf("dag-heavy bloom screen inert: %d checks, %d rejects", dag.BloomChecks, dag.BloomRejects)
+	}
+	if _, ok := byFam["giant-scc"]; !ok {
+		t.Fatalf("giant-scc contrast row missing: %+v", rows)
+	}
+	var buf bytes.Buffer
+	if err := WriteStorage(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dag-heavy") {
+		t.Fatal("table missing family name")
+	}
+}

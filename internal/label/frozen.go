@@ -1,0 +1,454 @@
+package label
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/bitpack"
+)
+
+// Frozen is the compressed, immutable form of a set of label lists: one
+// delta+varint blob (bitpack's block codec) plus a raw little-endian
+// uint32 offset table marking each list's section. Hubs are rank
+// positions, so gaps are small and a typical entry costs 3-4 bytes
+// against the arena's 8 (plus ArenaPad slots per list).
+//
+// Each list section is:
+//
+//	uvarint n                 entry count; an empty list is just "0"
+//	byte    flags             bit0 = sig present, bit1 = sync present
+//	8 bytes sig               hub-membership bloom signature (LE), when
+//	                          n ≥ sigMinEntries
+//	uvarint nsync             when n > bitpack.DeltaBlock
+//	nsync × (u32 hub, u32 off)  per-block sync records: the block's
+//	                          starting hub and its byte offset relative
+//	                          to the entry stream — fixed width, binary
+//	                          searchable, offsets list-relative so a
+//	                          section copies verbatim between arenas
+//	entry stream              bitpack.AppendDeltaBlocks encoding
+//
+// Queries read sections through cursors without materializing entries;
+// the sync records keep the join kernels' seeks sub-linear. A dynamic
+// update thaws only the touched list back to its mutable slice form
+// (marking the section dead here); FreezeCompressed re-freezes a group
+// by copying still-frozen sections verbatim and re-encoding only the
+// thawed ones.
+//
+// The blob and offset table may alias a read-only mmap'd file: nothing
+// here ever writes through them. Decoding arbitrary (corrupt) bytes is
+// panic-free — cursors stop at the first malformed varint; Validate
+// performs the strict full-decode check used by the trusted-load path.
+type Frozen struct {
+	blob []byte
+	off  []byte // raw LE uint32 × (lists+1); section i is blob[off[i]:off[i+1]]
+
+	lists   int
+	entries int // live entries at freeze time
+
+	thawed  []bool // sections re-materialized as mutable lists
+	nthawed int
+}
+
+const (
+	flagSig  = 1 << 0
+	flagSync = 1 << 1
+
+	// sigMinEntries is the list length at which a bloom signature pays
+	// for its 8 bytes: shorter lists join in a handful of comparisons
+	// anyway, and on gap-compressed small lists the signature would
+	// dominate the section size.
+	sigMinEntries = 4
+
+	// maxFrozenList bounds a decoded list length so a corrupt header
+	// cannot drive a huge allocation.
+	maxFrozenList = 1 << 27
+)
+
+// sigBit hashes a hub rank to one of the signature's 64 bits
+// (Fibonacci multiplicative hashing on the top 6 bits).
+func sigBit(hub int) uint64 {
+	return 1 << ((uint64(hub) * 0x9E3779B97F4A7C15) >> 58)
+}
+
+// Bloom pre-screen telemetry: checks counts label-pair joins where both
+// sides carried a signature, rejects how many of those were answered
+// Unreachable from the signatures alone (no entry decoded).
+var bloomChecks, bloomRejects atomic.Uint64
+
+// BloomStats returns the cumulative bloom pre-screen counters.
+func BloomStats() (checks, rejects uint64) {
+	return bloomChecks.Load(), bloomRejects.Load()
+}
+
+// FreezeCompressed packs every list of the given groups into a fresh
+// compressed arena and re-points each list at its section. Lists that
+// are already frozen copy their sections verbatim (no decode); mutable
+// lists — fresh ones, or lists thawed by updates since the last freeze —
+// are re-encoded. The lists remain fully usable afterwards: queries
+// stream the compressed form, mutations thaw the touched list first.
+func FreezeCompressed(groups ...[]List) *Frozen {
+	lists, approx := 0, 0
+	for _, g := range groups {
+		lists += len(g)
+		for i := range g {
+			approx += 4 * g[i].Len()
+		}
+	}
+	f := &Frozen{
+		blob:   make([]byte, 0, approx+lists),
+		off:    make([]byte, 0, 4*(lists+1)),
+		thawed: make([]bool, lists),
+		lists:  lists,
+	}
+	idx := int32(0)
+	for _, g := range groups {
+		for i := range g {
+			l := &g[i]
+			f.off = binary.LittleEndian.AppendUint32(f.off, uint32(len(f.blob)))
+			f.entries += l.Len()
+			if l.fz != nil {
+				f.blob = append(f.blob, l.fz.section(l.fi)...)
+			} else {
+				f.blob = appendSection(f.blob, l.e)
+			}
+			*l = List{fz: f, fi: idx}
+			idx++
+		}
+	}
+	f.off = binary.LittleEndian.AppendUint32(f.off, uint32(len(f.blob)))
+	return f
+}
+
+// appendSection encodes one list's section onto dst.
+func appendSection(dst []byte, es []bitpack.Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(es)))
+	if len(es) == 0 {
+		return dst
+	}
+	var flags byte
+	if len(es) >= sigMinEntries {
+		flags |= flagSig
+	}
+	if len(es) > bitpack.DeltaBlock {
+		flags |= flagSync
+	}
+	dst = append(dst, flags)
+	if flags&flagSig != 0 {
+		var sig uint64
+		for _, e := range es {
+			sig |= sigBit(e.Hub())
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, sig)
+	}
+	if flags&flagSync == 0 {
+		return bitpack.AppendDeltaBlocks(dst, es, nil)
+	}
+	var sync []byte
+	stream := bitpack.AppendDeltaBlocks(nil, es, func(hub, off uint32) {
+		sync = binary.LittleEndian.AppendUint32(sync, hub)
+		sync = binary.LittleEndian.AppendUint32(sync, off)
+	})
+	dst = binary.AppendUvarint(dst, uint64(len(sync)/8))
+	dst = append(dst, sync...)
+	return append(dst, stream...)
+}
+
+// NewFrozen wraps deserialized section bytes — the v3 load path. off
+// and blob may alias a read-only mapping; only the structural offset
+// invariants are checked here (cheap, O(lists)), so a cold mmap'd
+// daemon serves before label pages fault in. Call Validate for the full
+// strict decode used on trusted (stream) loads.
+func NewFrozen(off, blob []byte) (*Frozen, error) {
+	if len(off) < 8 || len(off)%4 != 0 {
+		return nil, fmt.Errorf("label: frozen offset table of %d bytes", len(off))
+	}
+	lists := len(off)/4 - 1
+	prev := binary.LittleEndian.Uint32(off)
+	if prev != 0 {
+		return nil, fmt.Errorf("label: frozen offsets start at %d", prev)
+	}
+	for i := 1; i <= lists; i++ {
+		o := binary.LittleEndian.Uint32(off[4*i:])
+		if o < prev || int(o) > len(blob) {
+			return nil, fmt.Errorf("label: frozen offset %d of %d out of order", i, lists)
+		}
+		prev = o
+	}
+	if int(prev) != len(blob) {
+		return nil, fmt.Errorf("label: frozen blob is %d bytes, offsets end at %d", len(blob), prev)
+	}
+	f := &Frozen{blob: blob, off: off, lists: lists, thawed: make([]bool, lists)}
+	for i := int32(0); i < int32(lists); i++ {
+		f.entries += f.listLen(i)
+	}
+	return f, nil
+}
+
+// AttachFrozen points each list of the given groups at its section of
+// f, in the same group order FreezeCompressed walks. The v3 reader uses
+// this to bring deserialized lists up without decoding anything.
+func AttachFrozen(f *Frozen, groups ...[]List) error {
+	idx := int32(0)
+	for _, g := range groups {
+		for i := range g {
+			if int(idx) >= f.lists {
+				break
+			}
+			g[i] = List{fz: f, fi: idx}
+			idx++
+		}
+	}
+	if int(idx) != f.lists {
+		return fmt.Errorf("label: frozen arena has %d sections for %d lists", f.lists, idx)
+	}
+	return nil
+}
+
+// Lists returns the number of sections.
+func (f *Frozen) Lists() int { return f.lists }
+
+// Entries returns the number of live entries at freeze (or load) time.
+func (f *Frozen) Entries() int { return f.entries }
+
+// Bytes returns the compressed footprint: blob plus offset table.
+func (f *Frozen) Bytes() int { return len(f.blob) + len(f.off) }
+
+// ArenaBytes returns what the same lists cost in the uncompressed CSR
+// arena form: 8 bytes per entry plus 8×ArenaPad per list.
+func (f *Frozen) ArenaBytes() int { return 8 * (f.entries + ArenaPad*f.lists) }
+
+// ThawedLists returns how many sections updates have thawed back to
+// mutable form since the freeze — the re-freeze trigger.
+func (f *Frozen) ThawedLists() int { return f.nthawed }
+
+// Raw exposes the arena's backing bytes for serialization: the raw
+// little-endian offset table and the section blob. Callers must not
+// write through them, and must re-freeze first if any list has thawed
+// (the thawed sections here are stale).
+func (f *Frozen) Raw() (off, blob []byte) { return f.off, f.blob }
+
+func (f *Frozen) offAt(i int32) int {
+	return int(binary.LittleEndian.Uint32(f.off[4*i:]))
+}
+
+func (f *Frozen) section(i int32) []byte {
+	return f.blob[f.offAt(i):f.offAt(i+1)]
+}
+
+func (f *Frozen) markThawed(i int32) {
+	if !f.thawed[i] {
+		f.thawed[i] = true
+		f.nthawed++
+	}
+}
+
+// header parses list i's section header. Corrupt headers parse as empty
+// — cursors and thaws degrade gracefully; Validate rejects them loudly.
+func (f *Frozen) header(i int32) (n int, sig uint64, hasSig bool, sync, ent []byte) {
+	sp := f.section(i)
+	v, w := binary.Uvarint(sp)
+	if w <= 0 || v == 0 || v > maxFrozenList || int(v) > 3*len(sp) {
+		return 0, 0, false, nil, nil
+	}
+	n = int(v)
+	pos := w
+	if pos >= len(sp) {
+		return 0, 0, false, nil, nil
+	}
+	flags := sp[pos]
+	pos++
+	if flags&flagSig != 0 {
+		if pos+8 > len(sp) {
+			return 0, 0, false, nil, nil
+		}
+		sig = binary.LittleEndian.Uint64(sp[pos:])
+		hasSig = true
+		pos += 8
+	}
+	if flags&flagSync != 0 {
+		ns, w := binary.Uvarint(sp[pos:])
+		if w <= 0 {
+			return 0, 0, false, nil, nil
+		}
+		pos += w
+		if ns > uint64(len(sp)/8)+1 || pos+int(ns)*8 > len(sp) {
+			return 0, 0, false, nil, nil
+		}
+		sync = sp[pos : pos+int(ns)*8]
+		pos += int(ns) * 8
+	}
+	return n, sig, hasSig, sync, sp[pos:]
+}
+
+// listLen returns list i's entry count without decoding entries.
+func (f *Frozen) listLen(i int32) int {
+	n, _, _, _, _ := f.header(i)
+	return n
+}
+
+// listSig returns list i's bloom signature, if the section carries one.
+func (f *Frozen) listSig(i int32) (uint64, bool) {
+	_, sig, ok, _, _ := f.header(i)
+	return sig, ok
+}
+
+// decode materializes list i's entries into dst (grown as needed).
+func (f *Frozen) decode(i int32, dst []bitpack.Entry) []bitpack.Entry {
+	n, _, _, _, ent := f.header(i)
+	if cap(dst) < n {
+		dst = make([]bitpack.Entry, 0, n+ArenaPad)
+	} else {
+		dst = dst[:0]
+	}
+	bitpack.DecodeDeltaBlocks(ent, n, func(e bitpack.Entry) bool {
+		dst = append(dst, e)
+		return true
+	})
+	return dst
+}
+
+// Validate fully decodes every section and re-encodes it, rejecting
+// anything that is truncated, non-canonical, out of hub range, or
+// carries flags inconsistent with its length. The stream-load path runs
+// this so a frozen index on the trusted path is exactly what
+// FreezeCompressed would have produced.
+func (f *Frozen) Validate(maxHub int) error {
+	var scratch []bitpack.Entry
+	for i := int32(0); i < int32(f.lists); i++ {
+		sp := f.section(i)
+		if len(sp) == 0 {
+			return fmt.Errorf("label: frozen list %d: empty section", i)
+		}
+		v, w := binary.Uvarint(sp)
+		if w <= 0 || v > maxFrozenList || int(v) > 3*len(sp) {
+			return fmt.Errorf("label: frozen list %d: bad count", i)
+		}
+		if v == 0 {
+			if len(sp) != w {
+				return fmt.Errorf("label: frozen list %d: trailing bytes on empty list", i)
+			}
+			continue
+		}
+		n, _, _, _, ent := f.header(i)
+		if n == 0 {
+			return fmt.Errorf("label: frozen list %d: malformed header", i)
+		}
+		scratch = scratch[:0]
+		consumed, ok := bitpack.DecodeDeltaBlocks(ent, n, func(e bitpack.Entry) bool {
+			scratch = append(scratch, e)
+			return true
+		})
+		if !ok || consumed != len(ent) {
+			return fmt.Errorf("label: frozen list %d: truncated or trailing entry stream", i)
+		}
+		if last := scratch[len(scratch)-1].Hub(); last >= maxHub && maxHub >= 0 {
+			return fmt.Errorf("label: frozen list %d: hub %d out of range [0,%d)", i, last, maxHub)
+		}
+		// Canonical check: the section must be byte-identical to a fresh
+		// encoding — this pins sig and sync correctness in one shot and
+		// guarantees re-serialization stability.
+		want := appendSection(nil, scratch)
+		if len(want) != len(sp) || string(want) != string(sp) {
+			return fmt.Errorf("label: frozen list %d: non-canonical section", i)
+		}
+	}
+	return nil
+}
+
+// fcursor streams one frozen section in hub order without materializing
+// it. The zero value is exhausted; init with cursor().
+type fcursor struct {
+	ent  []byte // entry stream
+	sync []byte // per-block records, nil for short lists
+	n    int    // total entries
+	idx  int    // entries consumed (cur is entry idx-1)
+	pos  int    // byte position of the next entry
+	hub  int    // cur's hub (delta base)
+	cur  bitpack.Entry
+	ok   bool
+}
+
+// cursor opens a streaming cursor over list i, positioned on the first
+// entry (ok is false for an empty list).
+func (f *Frozen) cursor(i int32) fcursor {
+	var c fcursor
+	c.n, _, _, c.sync, c.ent = f.header(i)
+	c.next()
+	return c
+}
+
+// next advances to the following entry. A malformed stream exhausts the
+// cursor instead of panicking.
+func (c *fcursor) next() {
+	if c.idx >= c.n {
+		c.ok = false
+		return
+	}
+	v, w := binary.Uvarint(c.ent[c.pos:])
+	if w <= 0 || v > bitpack.MaxHub {
+		c.ok = false
+		return
+	}
+	c.pos += w
+	if c.idx%bitpack.DeltaBlock == 0 {
+		c.hub = int(v)
+	} else {
+		if v == 0 {
+			c.ok = false
+			return
+		}
+		c.hub += int(v)
+	}
+	if c.hub > bitpack.MaxHub {
+		c.ok = false
+		return
+	}
+	d, w := binary.Uvarint(c.ent[c.pos:])
+	if w <= 0 || d > bitpack.MaxDist {
+		c.ok = false
+		return
+	}
+	c.pos += w
+	cnt, w := binary.Uvarint(c.ent[c.pos:])
+	if w <= 0 || cnt > bitpack.MaxCount {
+		c.ok = false
+		return
+	}
+	c.pos += w
+	c.cur = bitpack.Pack(c.hub, int(d), cnt)
+	c.idx++
+	c.ok = true
+}
+
+// seekGE advances the cursor to the first entry with hub ≥ target. With
+// sync records it binary-searches the remaining blocks and decodes at
+// most one block linearly; without them the list is at most one block
+// long anyway.
+func (c *fcursor) seekGE(target int) {
+	if !c.ok || c.cur.Hub() >= target {
+		return
+	}
+	if c.sync != nil {
+		curBlk := (c.idx - 1) / bitpack.DeltaBlock
+		// Find the last block whose starting hub is ≤ target; only a
+		// forward jump is useful.
+		lo, hi := curBlk, len(c.sync)/8 // invariant: blkHub(lo) ≤ target < blkHub(hi)
+		for lo+1 < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if int(binary.LittleEndian.Uint32(c.sync[8*mid:])) <= target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		if lo > curBlk {
+			c.pos = int(binary.LittleEndian.Uint32(c.sync[8*lo+4:]))
+			c.idx = lo * bitpack.DeltaBlock
+			c.next()
+		}
+	}
+	for c.ok && c.cur.Hub() < target {
+		c.next()
+	}
+}

@@ -1,0 +1,252 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitpack"
+)
+
+func listOf(es []bitpack.Entry) List {
+	return List{e: append([]bitpack.Entry(nil), es...)}
+}
+
+func entriesEqual(t *testing.T, tag string, got, want []bitpack.Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d entries, want %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: entry %d = %x, want %x", tag, i, got[i], want[i])
+		}
+	}
+}
+
+// Frozen lists must answer byte-identically to their mutable originals
+// across every kernel variant and every form mix (frozen×frozen,
+// frozen×mutable, mutable×frozen), including the bloom-screened pairs.
+func TestFrozenJoinMatchesMutable(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	shapes := [][2]int{
+		{0, 0}, {0, 40}, {1, 1}, {2, 3}, {3, 2}, // below sigMinEntries
+		{5, 5}, {30, 30}, {64, 64}, {200, 1}, {1, 200},
+		{40, 700}, {700, 40}, // sync blocks on one side
+	}
+	for trial := 0; trial < 120; trial++ {
+		shape := shapes[trial%len(shapes)]
+		hubSpace := shape[0] + shape[1] + 1 + r.Intn(900)
+		oe := randList(r, shape[0], hubSpace, 30)
+		ie := randList(r, shape[1], hubSpace, 30)
+
+		mo, mi := listOf(oe), listOf(ie)
+		fo, fi := listOf(oe), listOf(ie)
+		group := []List{fo, fi}
+		FreezeCompressed(group)
+		fo, fi = group[0], group[1]
+		if shape[0] > 0 && !fo.Frozen() {
+			t.Fatalf("trial %d: out list not frozen", trial)
+		}
+
+		wd, wc := Join(&mo, &mi)
+		wdd := JoinDist(&mo, &mi)
+		pairs := [][2]*List{{&fo, &fi}, {&fo, &mi}, {&mo, &fi}}
+		for p, pr := range pairs {
+			if d, c := Join(pr[0], pr[1]); d != wd || c != wc {
+				t.Fatalf("trial %d pair %d: Join = (%d,%d), want (%d,%d)", trial, p, d, c, wd, wc)
+			}
+			if d := JoinDist(pr[0], pr[1]); d != wdd {
+				t.Fatalf("trial %d pair %d: JoinDist = %d, want %d", trial, p, d, wdd)
+			}
+			for _, bound := range []int{-1, 0, 3, wd, wd + 1, 100} {
+				bd, bc := JoinBounded(&mo, &mi, bound)
+				if d, c := JoinBounded(pr[0], pr[1], bound); d != bd || c != bc {
+					t.Fatalf("trial %d pair %d bound %d: JoinBounded = (%d,%d), want (%d,%d)",
+						trial, p, bound, d, c, bd, bc)
+				}
+			}
+		}
+	}
+}
+
+// Freezing must preserve every accessor, thawing must restore the exact
+// mutable contents, and a mutation after thaw must leave other lists of
+// the arena untouched.
+func TestFreezeThawPreserves(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	lists := make([]List, 6)
+	want := make([][]bitpack.Entry, 6)
+	for i := range lists {
+		want[i] = randList(r, []int{0, 1, 3, 10, 40, 90}[i], 400, 25)
+		lists[i] = listOf(want[i])
+	}
+	f := FreezeCompressed(lists)
+	if f.Entries() != 0+1+3+10+40+90 {
+		t.Fatalf("frozen entries = %d", f.Entries())
+	}
+	if f.Bytes() >= f.ArenaBytes() {
+		t.Fatalf("compressed %d bytes not smaller than arena %d", f.Bytes(), f.ArenaBytes())
+	}
+	for i := range lists {
+		l := &lists[i]
+		if l.Len() != len(want[i]) {
+			t.Fatalf("list %d: Len = %d, want %d", i, l.Len(), len(want[i]))
+		}
+		if l.Bytes() != 8*len(want[i]) {
+			t.Fatalf("list %d: Bytes = %d", i, l.Bytes())
+		}
+		var got []bitpack.Entry
+		l.Each(func(e bitpack.Entry) bool { got = append(got, e); return true })
+		entriesEqual(t, "Each", got, want[i])
+		if l.Frozen() != (len(want[i]) > 0) {
+			// Empty lists still point at the arena; only content matters.
+			_ = l
+		}
+		cl := l.Clone()
+		entriesEqual(t, "Clone", cl.Entries(), want[i])
+		if l.Frozen() != (l.fz != nil) {
+			t.Fatal("Frozen() out of sync")
+		}
+		for _, e := range want[i] {
+			got, ok := l.Lookup(e.Hub())
+			if !ok || got != e {
+				t.Fatalf("list %d: Lookup(%d) = (%x,%v), want %x", i, e.Hub(), got, ok, e)
+			}
+		}
+		if _, ok := l.Lookup(401); ok {
+			t.Fatalf("list %d: Lookup past the end succeeded", i)
+		}
+	}
+	// Thaw list 4 via mutation; the others stay frozen and intact.
+	lists[4].Set(bitpack.Pack(500, 1, 1))
+	if lists[4].Frozen() {
+		t.Fatal("mutated list still frozen")
+	}
+	if f.ThawedLists() != 1 {
+		t.Fatalf("ThawedLists = %d", f.ThawedLists())
+	}
+	entriesEqual(t, "thawed", lists[4].Entries()[:len(want[4])], want[4])
+	var got []bitpack.Entry
+	lists[5].Each(func(e bitpack.Entry) bool { got = append(got, e); return true })
+	entriesEqual(t, "sibling after thaw", got, want[5])
+
+	// Refreeze: the untouched sections copy verbatim, the thawed one
+	// re-encodes; everything still reads back exactly.
+	f2 := FreezeCompressed(lists)
+	if f2.ThawedLists() != 0 {
+		t.Fatalf("fresh arena reports %d thawed", f2.ThawedLists())
+	}
+	want[4] = append(want[4], bitpack.Pack(500, 1, 1))
+	for i := range lists {
+		got = got[:0]
+		lists[i].Each(func(e bitpack.Entry) bool { got = append(got, e); return true })
+		entriesEqual(t, "refrozen", got, want[i])
+	}
+	if err := f2.Validate(bitpack.MaxHub + 1); err != nil {
+		t.Fatalf("Validate(refrozen): %v", err)
+	}
+}
+
+// The serialization path: raw (off, blob) bytes round-trip through
+// NewFrozen + AttachFrozen into lists that answer identically, and
+// Validate accepts exactly the canonical encoding.
+func TestFrozenRawRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	in := make([]List, 4)
+	out := make([]List, 4)
+	want := make(map[string][]bitpack.Entry)
+	for i := range in {
+		es := randList(r, 5+r.Intn(60), 300, 20)
+		in[i] = listOf(es)
+		want["in"+string(rune('0'+i))] = es
+		es = randList(r, 5+r.Intn(60), 300, 20)
+		out[i] = listOf(es)
+		want["out"+string(rune('0'+i))] = es
+	}
+	f := FreezeCompressed(in, out)
+	if err := f.Validate(300); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	blob := append([]byte(nil), f.blob...)
+	off := append([]byte(nil), f.off...)
+	f2, err := NewFrozen(off, blob)
+	if err != nil {
+		t.Fatalf("NewFrozen: %v", err)
+	}
+	if f2.Entries() != f.Entries() || f2.Lists() != f.Lists() {
+		t.Fatalf("reloaded arena: %d lists %d entries, want %d/%d",
+			f2.Lists(), f2.Entries(), f.Lists(), f.Entries())
+	}
+	in2 := make([]List, 4)
+	out2 := make([]List, 4)
+	if err := AttachFrozen(f2, in2, out2); err != nil {
+		t.Fatalf("AttachFrozen: %v", err)
+	}
+	for i := range in2 {
+		var got []bitpack.Entry
+		in2[i].Each(func(e bitpack.Entry) bool { got = append(got, e); return true })
+		entriesEqual(t, "reloaded in", got, want["in"+string(rune('0'+i))])
+		got = got[:0]
+		out2[i].Each(func(e bitpack.Entry) bool { got = append(got, e); return true })
+		entriesEqual(t, "reloaded out", got, want["out"+string(rune('0'+i))])
+	}
+	if err := AttachFrozen(f2, in2); err == nil {
+		t.Fatal("AttachFrozen with too few lists succeeded")
+	}
+
+	// Structural rejects.
+	if _, err := NewFrozen(off[:len(off)-4], blob); err == nil {
+		t.Fatal("short offset table accepted")
+	}
+	if _, err := NewFrozen(off, blob[:len(blob)-1]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	// Corruption rejects under Validate: shrink list 0's count byte so
+	// its entry stream has trailing bytes the decode never consumes.
+	bad := append([]byte(nil), blob...)
+	bad[0]-- // lists here have 5-64 entries: a one-byte uvarint
+	f3, err := NewFrozen(off, bad)
+	if err != nil {
+		t.Fatalf("NewFrozen(corrupt count): %v", err)
+	}
+	if err := f3.Validate(300); err == nil {
+		t.Fatal("corrupt blob validated cleanly")
+	}
+}
+
+// Bloom signatures must reject disjoint pairs without decoding and must
+// never reject intersecting ones (no false negatives by construction:
+// the signature is an OR over exact hub bits).
+func TestBloomSignatures(t *testing.T) {
+	disjointA := listOf([]bitpack.Entry{
+		bitpack.Pack(1, 1, 1), bitpack.Pack(2, 1, 1), bitpack.Pack(3, 1, 1), bitpack.Pack(4, 1, 1),
+	})
+	disjointB := listOf([]bitpack.Entry{
+		bitpack.Pack(100, 1, 1), bitpack.Pack(200, 1, 1), bitpack.Pack(300, 1, 1), bitpack.Pack(400, 1, 1),
+	})
+	group := []List{disjointA, disjointB}
+	FreezeCompressed(group)
+	c0, r0 := BloomStats()
+	if d, c := Join(&group[0], &group[1]); d != Unreachable || c != 0 {
+		t.Fatalf("disjoint Join = (%d,%d)", d, c)
+	}
+	c1, r1 := BloomStats()
+	if c1 != c0+1 {
+		t.Fatalf("bloom checks %d -> %d, want +1", c0, c1)
+	}
+	if r1 != r0+1 {
+		t.Fatalf("disjoint sig pair not rejected (rejects %d -> %d); hubs collide in the signature", r0, r1)
+	}
+
+	// Short lists carry no signature: joining them is never a "check".
+	shortA := listOf([]bitpack.Entry{bitpack.Pack(1, 1, 1)})
+	shortB := listOf([]bitpack.Entry{bitpack.Pack(9, 1, 1)})
+	sg := []List{shortA, shortB}
+	FreezeCompressed(sg)
+	c2, _ := BloomStats()
+	Join(&sg[0], &sg[1])
+	if c3, _ := BloomStats(); c3 != c2 {
+		t.Fatal("sig-less pair counted as a bloom check")
+	}
+}

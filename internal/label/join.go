@@ -280,8 +280,3 @@ func joinBoundedGallop(short, long []bitpack.Entry, maxDist int) (dist int, coun
 	}
 	return dist, count
 }
-
-// JoinBounded is JoinBoundedEntries over two Lists.
-func JoinBounded(out, in *List, maxDist int) (dist int, count uint64) {
-	return JoinBoundedEntries(out.e, in.e, maxDist)
-}

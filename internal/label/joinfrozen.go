@@ -1,0 +1,164 @@
+package label
+
+import (
+	"repro/internal/bitpack"
+)
+
+// Cursor-form join kernels: the compressed-arena counterpart of join.go.
+// When one or both lists are frozen the entries live as delta+varint
+// streams, so the kernels walk lcur cursors in a leapfrog merge — each
+// side seeks to the other's hub, which gallops (seekHub) on a mutable
+// side and binary-searches the sync records on a frozen side. Semantics
+// mirror JoinEntries / JoinDistEntries / JoinBoundedEntries exactly:
+// identical distance, identical saturating count arithmetic in identical
+// ascending-hub order, so answers are byte-identical across forms.
+
+// lcur walks one list in ascending hub order regardless of its form.
+type lcur struct {
+	es     []bitpack.Entry // mutable backing
+	i      int
+	fc     fcursor // frozen backing
+	frozen bool
+}
+
+func (c *lcur) init(l *List) {
+	if l.fz != nil {
+		c.frozen = true
+		c.fc = l.fz.cursor(l.fi)
+		return
+	}
+	c.es = l.e
+}
+
+func (c *lcur) ok() bool {
+	if c.frozen {
+		return c.fc.ok
+	}
+	return c.i < len(c.es)
+}
+
+func (c *lcur) cur() bitpack.Entry {
+	if c.frozen {
+		return c.fc.cur
+	}
+	return c.es[c.i]
+}
+
+func (c *lcur) next() {
+	if c.frozen {
+		c.fc.next()
+		return
+	}
+	c.i++
+}
+
+// seekGE advances to the first entry with hub ≥ target: galloping on a
+// slice, sync-record search plus at most one block decode on a frozen
+// stream.
+func (c *lcur) seekGE(target int) {
+	if c.frozen {
+		c.fc.seekGE(target)
+		return
+	}
+	c.i = seekHub(c.es, c.i, target)
+}
+
+// joinCursor is JoinEntries in leapfrog-cursor form.
+func joinCursor(out, in *List) (dist int, count uint64) {
+	var a, b lcur
+	a.init(out)
+	b.init(in)
+	dist = Unreachable
+	for a.ok() && b.ok() {
+		ea, eb := a.cur(), b.cur()
+		ha, hb := ea.Hub(), eb.Hub()
+		switch {
+		case ha == hb:
+			d := ea.Dist() + eb.Dist()
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(ea.Count(), eb.Count())
+			} else if d == dist {
+				count = bitpack.SatAdd(count, bitpack.SatMul(ea.Count(), eb.Count()))
+			}
+			a.next()
+			b.next()
+		case ha < hb:
+			a.seekGE(hb)
+		default:
+			b.seekGE(ha)
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}
+
+// joinDistCursor is JoinDistEntries in leapfrog-cursor form.
+func joinDistCursor(out, in *List) int {
+	var a, b lcur
+	a.init(out)
+	b.init(in)
+	dist := Unreachable
+	for a.ok() && b.ok() {
+		ea, eb := a.cur(), b.cur()
+		ha, hb := ea.Hub(), eb.Hub()
+		switch {
+		case ha == hb:
+			if d := ea.Dist() + eb.Dist(); d < dist {
+				dist = d
+			}
+			a.next()
+			b.next()
+		case ha < hb:
+			a.seekGE(hb)
+		default:
+			b.seekGE(ha)
+		}
+	}
+	return dist
+}
+
+// joinBoundedCursor is JoinBoundedEntries in leapfrog-cursor form: the
+// running bound tightens to the best distance found, and pairs above it
+// never enter the count arithmetic.
+func joinBoundedCursor(out, in *List, maxDist int) (dist int, count uint64) {
+	var a, b lcur
+	a.init(out)
+	b.init(in)
+	dist = Unreachable
+	bound := maxDist
+	for a.ok() && b.ok() {
+		ea, eb := a.cur(), b.cur()
+		ha, hb := ea.Hub(), eb.Hub()
+		switch {
+		case ha == hb:
+			a.next()
+			b.next()
+			da := ea.Dist()
+			if da > bound {
+				continue
+			}
+			d := da + eb.Dist()
+			if d > bound {
+				continue
+			}
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(ea.Count(), eb.Count())
+				bound = d
+			} else { // d == dist: the bound pinned d ≤ dist already
+				count = bitpack.SatAdd(count, bitpack.SatMul(ea.Count(), eb.Count()))
+			}
+		case ha < hb:
+			a.seekGE(hb)
+		default:
+			b.seekGE(ha)
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0
+	}
+	return dist, count
+}

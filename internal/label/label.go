@@ -16,21 +16,90 @@ const Unreachable = int(bitpack.MaxDist)
 
 // List is a label list: packed entries in strictly ascending hub-rank
 // order. The zero value is an empty, ready-to-use list.
+//
+// A list lives in one of two forms. The mutable form backs entries with a
+// plain slice (possibly a span of the CSR Arena). After FreezeCompressed
+// the slice is released and the list reads its section of a compressed
+// Frozen arena through streaming cursors — Each, Lookup, and the Join
+// family never materialize entries. Any mutation (or an explicit Entries /
+// At call) thaws the list first: the section decodes back into a private
+// slice and the list detaches from the arena until the next freeze.
 type List struct {
-	e []bitpack.Entry
+	e  []bitpack.Entry
+	fz *Frozen // non-nil while frozen; thawing detaches
+	fi int32   // section index within fz
+}
+
+// Frozen reports whether the list currently reads from a compressed
+// arena.
+func (l *List) Frozen() bool { return l.fz != nil }
+
+// thaw decodes the frozen section back into a private mutable slice and
+// detaches the list from the arena. Thawing is driven by the single
+// writer (updates); concurrent readers are the caller's concern, exactly
+// as for slice mutation.
+func (l *List) thaw() {
+	if l.fz == nil {
+		return
+	}
+	l.e = l.fz.decode(l.fi, l.e)
+	l.fz.markThawed(l.fi)
+	l.fz = nil
 }
 
 // Len returns the number of entries.
-func (l *List) Len() int { return len(l.e) }
+func (l *List) Len() int {
+	if l.fz != nil {
+		return l.fz.listLen(l.fi)
+	}
+	return len(l.e)
+}
 
-// At returns the i-th entry in rank order.
-func (l *List) At(i int) bitpack.Entry { return l.e[i] }
+// At returns the i-th entry in rank order, thawing a frozen list (random
+// access wants the materialized form; hot read paths use Each).
+func (l *List) At(i int) bitpack.Entry {
+	l.thaw()
+	return l.e[i]
+}
 
-// Entries exposes the backing slice for read-only iteration.
-func (l *List) Entries() []bitpack.Entry { return l.e }
+// Entries exposes the backing slice for read-only iteration, thawing a
+// frozen list first. Read paths that must not thaw use Each.
+func (l *List) Entries() []bitpack.Entry {
+	l.thaw()
+	return l.e
+}
 
-// Lookup finds the entry with the given hub rank.
+// Each calls fn for every entry in ascending hub order, stopping early
+// when fn returns false. On a frozen list this streams the compressed
+// section without materializing it; on a mutable list it is a plain
+// range loop.
+func (l *List) Each(fn func(bitpack.Entry) bool) {
+	if l.fz == nil {
+		for _, e := range l.e {
+			if !fn(e) {
+				return
+			}
+		}
+		return
+	}
+	for c := l.fz.cursor(l.fi); c.ok; c.next() {
+		if !fn(c.cur) {
+			return
+		}
+	}
+}
+
+// Lookup finds the entry with the given hub rank. Frozen lists seek
+// through the sync records without thawing.
 func (l *List) Lookup(hub int) (bitpack.Entry, bool) {
+	if l.fz != nil {
+		c := l.fz.cursor(l.fi)
+		c.seekGE(hub)
+		if c.ok && c.cur.Hub() == hub {
+			return c.cur, true
+		}
+		return 0, false
+	}
 	i := l.search(hub)
 	if i < len(l.e) && l.e[i].Hub() == hub {
 		return l.e[i], true
@@ -47,6 +116,7 @@ func (l *List) search(hub int) int {
 // plain append; out-of-order hubs fall back to a sorted insert. Appending
 // an existing hub replaces its entry.
 func (l *List) Append(e bitpack.Entry) {
+	l.thaw()
 	if n := len(l.e); n == 0 || l.e[n-1].Hub() < e.Hub() {
 		l.e = append(l.e, e)
 		return
@@ -57,6 +127,7 @@ func (l *List) Append(e bitpack.Entry) {
 // Set inserts e at its sorted position, replacing any entry with the same
 // hub. It reports whether a new entry was inserted (vs. replaced).
 func (l *List) Set(e bitpack.Entry) bool {
+	l.thaw()
 	i := l.search(e.Hub())
 	if i < len(l.e) && l.e[i].Hub() == e.Hub() {
 		l.e[i] = e
@@ -71,6 +142,7 @@ func (l *List) Set(e bitpack.Entry) bool {
 // Remove deletes the entry with the given hub rank, reporting whether one
 // existed.
 func (l *List) Remove(hub int) bool {
+	l.thaw()
 	i := l.search(hub)
 	if i >= len(l.e) || l.e[i].Hub() != hub {
 		return false
@@ -79,41 +151,114 @@ func (l *List) Remove(hub int) bool {
 	return true
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent mutable copy. Cloning a frozen list
+// decodes its section without thawing the original.
 func (l *List) Clone() List {
+	if l.fz != nil {
+		return List{e: l.fz.decode(l.fi, nil)}
+	}
 	return List{e: append([]bitpack.Entry(nil), l.e...)}
 }
 
-// Reset empties the list, keeping capacity.
-func (l *List) Reset() { l.e = l.e[:0] }
+// Reset empties the list, keeping capacity. A frozen list just detaches
+// (nothing to decode).
+func (l *List) Reset() {
+	if l.fz != nil {
+		l.fz.markThawed(l.fi)
+		l.fz = nil
+		l.e = nil
+		return
+	}
+	l.e = l.e[:0]
+}
 
 // Hubs returns the hub ranks present in the list.
 func (l *List) Hubs() []int {
-	hs := make([]int, len(l.e))
-	for i, e := range l.e {
-		hs[i] = e.Hub()
-	}
+	hs := make([]int, 0, l.Len())
+	l.Each(func(e bitpack.Entry) bool {
+		hs = append(hs, e.Hub())
+		return true
+	})
 	return hs
 }
 
-// Bytes returns the storage footprint of the list payload (8 bytes per
-// entry, the paper's 64-bit label encoding).
-func (l *List) Bytes() int { return 8 * len(l.e) }
+// Bytes returns the logical storage footprint of the list payload
+// (8 bytes per entry, the paper's 64-bit label encoding) regardless of
+// form — compressed physical bytes are reported by Frozen.Bytes.
+func (l *List) Bytes() int { return 8 * l.Len() }
+
+// sig returns the list's bloom signature of hub membership, when it has
+// one (frozen, and long enough to carry a signature).
+func (l *List) sig() (uint64, bool) {
+	if l.fz == nil {
+		return 0, false
+	}
+	return l.fz.listSig(l.fi)
+}
+
+// sigReject reports whether the bloom signatures prove the two lists
+// share no hub. Only pairs where both sides carry a signature count as
+// checks.
+func sigReject(out, in *List) bool {
+	so, ok := out.sig()
+	if !ok {
+		return false
+	}
+	si, ok := in.sig()
+	if !ok {
+		return false
+	}
+	bloomChecks.Add(1)
+	if so&si != 0 {
+		return false
+	}
+	bloomRejects.Add(1)
+	return true
+}
 
 // Join evaluates Equations (1)-(2): it merge-joins an out-label list of s
 // and an in-label list of t over common hubs, returning the minimum
 // sd(s,h)+sd(h,t) and the saturating sum of count products at that
 // distance. When the lists share no hub it returns (Unreachable, 0).
-// After a Freeze, the two lists are views into the CSR arena, so the scan
-// walks two contiguous spans of one allocation. Badly skewed list lengths
-// take the galloping path (join.go).
+// Mutable lists (post-Freeze: views into the CSR arena) take the slice
+// kernels, with galloping on badly skewed lengths (join.go). When either
+// side is frozen, the bloom signatures screen out non-intersecting pairs
+// in O(words) before any entry decodes; survivors stream through
+// compressed cursors with sync-record seeks.
 func Join(out, in *List) (dist int, count uint64) {
-	return JoinEntries(out.e, in.e)
+	if out.fz == nil && in.fz == nil {
+		return JoinEntries(out.e, in.e)
+	}
+	if sigReject(out, in) {
+		return Unreachable, 0
+	}
+	return joinCursor(out, in)
 }
 
 // JoinDist is Join restricted to the distance; it still visits every
 // common hub (the minimum can appear anywhere) but skips count
 // arithmetic.
 func JoinDist(out, in *List) int {
-	return JoinDistEntries(out.e, in.e)
+	if out.fz == nil && in.fz == nil {
+		return JoinDistEntries(out.e, in.e)
+	}
+	if sigReject(out, in) {
+		return Unreachable
+	}
+	return joinDistCursor(out, in)
+}
+
+// JoinBounded is JoinBoundedEntries over two Lists, with the same frozen
+// dispatch as Join.
+func JoinBounded(out, in *List, maxDist int) (dist int, count uint64) {
+	if out.fz == nil && in.fz == nil {
+		return JoinBoundedEntries(out.e, in.e, maxDist)
+	}
+	if maxDist < 0 {
+		return Unreachable, 0
+	}
+	if sigReject(out, in) {
+		return Unreachable, 0
+	}
+	return joinBoundedCursor(out, in, maxDist)
 }

@@ -140,7 +140,10 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
 	}
-	if q < 0 {
+	// NaN slips through both range checks (every comparison with NaN is
+	// false) and uint64(NaN*x) is undefined in the spec — treat it as the
+	// lowest quantile rather than produce a platform-dependent rank.
+	if q != q || q < 0 {
 		q = 0
 	}
 	if q > 1 {

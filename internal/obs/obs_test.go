@@ -83,6 +83,73 @@ func TestQuantileOracle(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases pins the degenerate snapshots: empty and
+// single-sample histograms must return defined values at every q —
+// including NaN and out-of-range q, which must clamp rather than feed an
+// undefined float→uint64 conversion into the rank.
+func TestQuantileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	var empty HistSnapshot
+	for _, q := range []float64{nan, math.Inf(-1), -1, 0, 0.5, 1, 2, math.Inf(1)} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Errorf("empty.Mean() = %v, want 0", empty.Mean())
+	}
+
+	for _, v := range []int64{0, 1, 7, 1_000_003} {
+		h := NewHistogram()
+		h.Observe(v)
+		s := h.Snapshot()
+		want := s.Quantile(0.5) // in-range answer for the one sample
+		if want < v || float64(want) > float64(v)+float64(v)/histSubs+1 {
+			t.Fatalf("single sample %d: p50 = %d out of bucket tolerance", v, want)
+		}
+		for _, q := range []float64{nan, math.Inf(-1), -3, 0, 0.25, 1, 5, math.Inf(1)} {
+			got := s.Quantile(q)
+			// One sample: every quantile is that sample's bucket answer.
+			if got != want {
+				t.Errorf("single sample %d: Quantile(%v) = %d, want %d", v, q, got, want)
+			}
+		}
+	}
+
+	// NaN on a populated multi-bucket snapshot clamps to the lowest rank,
+	// never a garbage rank past the end (which would return Max).
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	s := h.Snapshot()
+	if got, want := s.Quantile(nan), s.Quantile(0); got != want {
+		t.Errorf("Quantile(NaN) = %d, want lowest-rank answer %d", got, want)
+	}
+}
+
+// Merging an empty snapshot must be the identity, in both directions.
+func TestMergeEmptyIdentity(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		h.Observe(r.Int63n(1 << 28))
+	}
+	base := h.Snapshot()
+
+	got := base
+	got.Merge(HistSnapshot{})
+	if got != base {
+		t.Fatal("merging an empty snapshot changed the receiver")
+	}
+
+	var onto HistSnapshot
+	onto.Merge(base)
+	if onto != base {
+		t.Fatal("merging into an empty snapshot did not reproduce the source")
+	}
+}
+
 // TestSnapshotMerge: per-worker histograms merged must agree with one
 // shared histogram over the same observations.
 func TestSnapshotMerge(t *testing.T) {

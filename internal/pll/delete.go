@@ -78,11 +78,12 @@ func (idx *Index) DeleteEdge(a, b int) (UpdateStats, error) {
 		y := int(y32)
 		yRank := idx.Ord.Rank(y)
 		drop = drop[:0]
-		for _, e := range idx.In[y].Entries() {
+		idx.In[y].Each(func(e bitpack.Entry) bool {
 			if e.Hub() != yRank && inSA[idx.Ord.VertexAt(e.Hub())] {
 				drop = append(drop, e.Hub())
 			}
-		}
+			return true
+		})
 		for _, h := range drop {
 			if idx.removeInEntry(y, h) {
 				st.EntriesRemoved++
@@ -94,11 +95,12 @@ func (idx *Index) DeleteEdge(a, b int) (UpdateStats, error) {
 		x := int(x32)
 		xRank := idx.Ord.Rank(x)
 		drop = drop[:0]
-		for _, e := range idx.Out[x].Entries() {
+		idx.Out[x].Each(func(e bitpack.Entry) bool {
 			if e.Hub() != xRank && inSB[idx.Ord.VertexAt(e.Hub())] {
 				drop = append(drop, e.Hub())
 			}
-		}
+			return true
+		})
 		for _, h := range drop {
 			if idx.removeOutEntry(x, h) {
 				st.EntriesRemoved++

@@ -29,13 +29,15 @@ func (idx *Index) InsertEdge(a, b int) (UpdateStats, error) {
 		c uint64
 	}
 	hubA := make(map[int]seed, idx.In[a].Len())
-	for _, e := range idx.In[a].Entries() {
+	idx.In[a].Each(func(e bitpack.Entry) bool {
 		hubA[e.Hub()] = seed{e.Dist(), e.Count()}
-	}
+		return true
+	})
 	hubB := make(map[int]seed, idx.Out[b].Len())
-	for _, e := range idx.Out[b].Entries() {
+	idx.Out[b].Each(func(e bitpack.Entry) bool {
 		hubB[e.Hub()] = seed{e.Dist(), e.Count()}
-	}
+		return true
+	})
 	ranks := make([]int, 0, len(hubA)+len(hubB))
 	for r := range hubA {
 		ranks = append(ranks, r)
@@ -178,15 +180,16 @@ func (idx *Index) cleanLabel(w int, inSide bool, st *UpdateStats) {
 
 	if inSide {
 		var drop []int
-		for _, e := range idx.In[w].Entries() {
+		idx.In[w].Each(func(e bitpack.Entry) bool {
 			if e.Hub() == wRank {
-				continue // self entry is never redundant
+				return true // self entry is never redundant
 			}
 			h := idx.Ord.VertexAt(e.Hub())
 			if e.Dist() > idx.Dist(h, w) {
 				drop = append(drop, e.Hub())
 			}
-		}
+			return true
+		})
 		for _, h := range drop {
 			if idx.removeInEntry(w, h) {
 				st.EntriesRemoved++
@@ -220,15 +223,16 @@ func (idx *Index) cleanLabel(w int, inSide bool, st *UpdateStats) {
 	}
 
 	var drop []int
-	for _, e := range idx.Out[w].Entries() {
+	idx.Out[w].Each(func(e bitpack.Entry) bool {
 		if e.Hub() == wRank {
-			continue
+			return true
 		}
 		h := idx.Ord.VertexAt(e.Hub())
 		if e.Dist() > idx.Dist(w, h) {
 			drop = append(drop, e.Hub())
 		}
-	}
+		return true
+	})
 	for _, h := range drop {
 		if idx.removeOutEntry(w, h) {
 			st.EntriesRemoved++

@@ -1,5 +1,7 @@
 package pll
 
+import "repro/internal/bitpack"
+
 // The inverted indexes inv_in(·) and inv_out(·) of §V-A locate, for a hub
 // h, the vertices whose in-label (out-label) contains h. They are needed
 // only by the minimality strategy's CLEAN LABEL pass, so they are built
@@ -15,12 +17,8 @@ func (idx *Index) ensureInverted() {
 	idx.invIn = make([]map[int32]struct{}, n)
 	idx.invOut = make([]map[int32]struct{}, n)
 	for v := range idx.In {
-		for _, e := range idx.In[v].Entries() {
-			idx.addInvIn(e.Hub(), v)
-		}
-		for _, e := range idx.Out[v].Entries() {
-			idx.addInvOut(e.Hub(), v)
-		}
+		idx.In[v].Each(func(e bitpack.Entry) bool { idx.addInvIn(e.Hub(), v); return true })
+		idx.Out[v].Each(func(e bitpack.Entry) bool { idx.addInvOut(e.Hub(), v); return true })
 	}
 }
 

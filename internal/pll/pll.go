@@ -146,6 +146,11 @@ type Index struct {
 	// per-vertex allocations.
 	arena *label.Arena
 
+	// frozen is the compressed delta+varint arena, set by FreezeCompressed
+	// (construction opt-in, or a v3 deserialization). Updates thaw only the
+	// lists they touch; Refreeze re-packs after a quiesce.
+	frozen *label.Frozen
+
 	// reruns counts parallel-construction stages that failed merge-time
 	// validation and were rebuilt sequentially (diagnostics only).
 	reruns int
@@ -410,6 +415,57 @@ func (idx *Index) FreezeArena() {
 
 // Arena exposes the frozen CSR store, or nil before FreezeArena ran.
 func (idx *Index) Arena() *label.Arena { return idx.arena }
+
+// FreezeCompressed re-packs every label list from its current form (CSR
+// arena spans or private slices) into one delta+varint compressed arena
+// (label.Frozen). Queries stream the compressed sections — bloom
+// pre-screens, sync-block seeks — and dynamic maintenance thaws only the
+// lists it touches. The CSR arena, now shadowed, is released.
+func (idx *Index) FreezeCompressed() {
+	idx.frozen = label.FreezeCompressed(idx.In, idx.Out)
+	idx.arena = nil
+}
+
+// Refreeze re-packs the compressed arena when updates have thawed lists
+// since the last freeze, returning how many lists re-encoded (0 when not
+// compressed or nothing thawed). Untouched sections copy verbatim, so
+// the cost scales with the update footprint, not the index size.
+func (idx *Index) Refreeze() int {
+	if idx.frozen == nil || idx.frozen.ThawedLists() == 0 {
+		return 0
+	}
+	n := idx.frozen.ThawedLists()
+	idx.frozen = label.FreezeCompressed(idx.In, idx.Out)
+	return n
+}
+
+// Compressed reports whether the labels live in the compressed arena.
+func (idx *Index) Compressed() bool { return idx.frozen != nil }
+
+// CompressedBytes returns the physical footprint of the compressed arena
+// (0 when not compressed). Thawed lists' private slices are not counted.
+func (idx *Index) CompressedBytes() int {
+	if idx.frozen == nil {
+		return 0
+	}
+	return idx.frozen.Bytes()
+}
+
+// FrozenArena exposes the compressed arena for serialization, or nil.
+func (idx *Index) FrozenArena() *label.Frozen { return idx.frozen }
+
+// AttachFrozen points the index's label lists at a deserialized
+// compressed arena (the v3 load path): no entries decode, the lists
+// stream their sections on demand.
+func (idx *Index) AttachFrozen(f *label.Frozen) error {
+	if err := label.AttachFrozen(f, idx.In, idx.Out); err != nil {
+		return err
+	}
+	idx.frozen = f
+	idx.arena = nil
+	idx.entries = f.Entries()
+	return nil
+}
 
 // Reruns reports how many parallel-construction stages failed merge-time
 // validation and were rebuilt sequentially (0 for sequential builds).

@@ -101,22 +101,24 @@ func (s *Scratch) Reset() {
 
 // Scatter loads the anchor list into the rank-indexed hub array. Every
 // Scatter must be paired with an Unscatter of the same list before the
-// scratch is reused.
+// scratch is reused. Streaming through Each keeps a compressed-frozen
+// anchor frozen; hubs ascend, so the last entry seen carries maxHub.
 func (s *Scratch) Scatter(l *label.List) {
 	s.maxHub = -1
-	for _, e := range l.Entries() {
-		s.hub[e.Hub()] = int32(e.Dist())
-	}
-	if n := l.Len(); n > 0 {
-		s.maxHub = int32(l.At(n - 1).Hub())
-	}
+	l.Each(func(e bitpack.Entry) bool {
+		h := e.Hub()
+		s.hub[h] = int32(e.Dist())
+		s.maxHub = int32(h)
+		return true
+	})
 }
 
 // Unscatter clears the cells Scatter loaded.
 func (s *Scratch) Unscatter(l *label.List) {
-	for _, e := range l.Entries() {
+	l.Each(func(e bitpack.Entry) bool {
 		s.hub[e.Hub()] = unreachScatter
-	}
+		return true
+	})
 }
 
 // Probe evaluates the prune test against the scattered anchor: the minimum
@@ -133,6 +135,24 @@ func (s *Scratch) Unscatter(l *label.List) {
 func (s *Scratch) Probe(l *label.List, below int) int {
 	min := int32(bitpack.MaxDist)
 	b := int32(below)
+	if l.Frozen() {
+		// Stream the compressed list without thawing; the early-stop rules
+		// are identical to the slice loop below.
+		l.Each(func(e bitpack.Entry) bool {
+			h := int32(e.Hub())
+			if h > s.maxHub {
+				return false // rank-ascending: no further shared hub possible
+			}
+			if d := s.hub[h] + int32(e.Dist()); d < min {
+				min = d
+				if d < b {
+					return false
+				}
+			}
+			return true
+		})
+		return int(min)
+	}
 	for _, e := range l.Entries() {
 		h := int32(e.Hub())
 		if h > s.maxHub {

@@ -70,10 +70,13 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 			if err := write(uint32(lst.Len())); err != nil {
 				return cw.n, err
 			}
-			for _, e := range lst.Entries() {
-				if err := write(uint64(e)); err != nil {
-					return cw.n, err
-				}
+			var werr error
+			lst.Each(func(e bitpack.Entry) bool {
+				werr = write(uint64(e))
+				return werr == nil
+			})
+			if werr != nil {
+				return cw.n, werr
 			}
 		}
 	}

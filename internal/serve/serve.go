@@ -145,8 +145,11 @@ func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "vertex %q is not an integer", r.PathValue("v"))
 		return
 	}
+	// Out-of-range ids (negative included) are malformed requests, not
+	// missing resources: the vertex space is fixed and known, so 400 —
+	// clients retrying a 404 as "not yet there" would spin forever.
 	if v < 0 || v >= s.e.NumVertices() {
-		writeErr(w, http.StatusNotFound, "vertex %d out of range [0,%d)", v, s.e.NumVertices())
+		writeErr(w, http.StatusBadRequest, "vertex %d out of range [0,%d)", v, s.e.NumVertices())
 		return
 	}
 	var l int

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/csc"
 	"repro/internal/engine"
@@ -152,7 +155,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 
 	// Bad inputs.
-	if code, _ := do(t, "GET", srv.URL+"/cycle/999", nil); code != 404 {
+	if code, _ := do(t, "GET", srv.URL+"/cycle/999", nil); code != 400 {
 		t.Fatalf("out-of-range vertex: %d", code)
 	}
 	if code, _ := do(t, "GET", srv.URL+"/cycle/notanumber", nil); code != 400 {
@@ -246,4 +249,132 @@ func TestServeConcurrentClients(t *testing.T) {
 		}(int64(c))
 	}
 	wg.Wait()
+}
+
+// TestMalformedRequests is the table-driven sweep of every route's input
+// validation: malformed vertex ids (non-numeric, negative, overflowing,
+// out of range) and malformed ?maxlen= must come back 400 with a JSON
+// error body — never a 500, a panic, or a 404 that clients would retry
+// as "not yet there" — and routes with inputs intact answer their normal
+// codes. Each request must also land one access-log line carrying the
+// response status.
+func TestMalformedRequests(t *testing.T) {
+	g := graph.New(8)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
+	e := engine.New(x, engine.Options{FlushInterval: -1})
+	t.Cleanup(func() { e.Close() })
+
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	srv := httptest.NewServer(serve.NewHandler(e, nil, 0, serve.Options{
+		AccessLog: lockedWriter{mu: &logMu, w: &logBuf},
+	}))
+	t.Cleanup(srv.Close)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"cycle ok", "GET", "/cycle/0", nil, 200},
+		{"cycle bounded ok", "GET", "/cycle/0?maxlen=3", nil, 200},
+		{"cycle non-numeric", "GET", "/cycle/notanumber", nil, 400},
+		{"cycle float", "GET", "/cycle/1.5", nil, 400},
+		{"cycle negative", "GET", "/cycle/-1", nil, 400},
+		{"cycle out of range", "GET", "/cycle/8", nil, 400},
+		{"cycle far out of range", "GET", "/cycle/999999", nil, 400},
+		{"cycle overflow", "GET", "/cycle/99999999999999999999", nil, 400},
+		{"maxlen non-numeric", "GET", "/cycle/0?maxlen=abc", nil, 400},
+		{"maxlen zero", "GET", "/cycle/0?maxlen=0", nil, 400},
+		{"maxlen negative", "GET", "/cycle/0?maxlen=-2", nil, 400},
+		{"maxlen overflow", "GET", "/cycle/0?maxlen=99999999999999999999", nil, 400},
+		{"maxlen on bad vertex", "GET", "/cycle/-5?maxlen=abc", nil, 400},
+		{"edges bad json", "POST", "/edges", "not json", 400},
+		{"edges delete bad json", "DELETE", "/edges", "not json", 400},
+		{"top without watch", "GET", "/top", nil, 404},
+		{"stats", "GET", "/stats", nil, 200},
+		{"healthz", "GET", "/healthz", nil, 200},
+		{"metrics without registry", "GET", "/metrics", nil, 404},
+		{"trace without ring", "GET", "/debug/trace", nil, 404},
+	}
+	for _, tc := range cases {
+		var rd *bytes.Reader
+		if s, ok := tc.body.(string); ok {
+			rd = bytes.NewReader([]byte(s)) // raw, deliberately not JSON-encoded
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var body map[string]json.RawMessage
+		if derr := json.NewDecoder(resp.Body).Decode(&body); derr != nil {
+			t.Errorf("%s: non-JSON response body: %v", tc.name, derr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, resp.StatusCode, tc.want, body)
+		}
+		if resp.StatusCode >= 400 {
+			if _, ok := body["error"]; !ok {
+				t.Errorf("%s: %d response carries no error field: %v", tc.name, resp.StatusCode, body)
+			}
+		}
+	}
+
+	// Every request above must have produced an access line with its
+	// status — error responses included. The log write happens after the
+	// handler returns, so poll briefly for the tail to land.
+	deadline := time.Now().Add(2 * time.Second)
+	var lines []string
+	for {
+		logMu.Lock()
+		lines = strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+		logMu.Unlock()
+		if len(lines) >= len(cases) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(lines) != len(cases) {
+		t.Fatalf("access log has %d lines, want %d", len(lines), len(cases))
+	}
+	for i, tc := range cases {
+		var line struct {
+			Status int    `json:"status"`
+			Method string `json:"method"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &line); err != nil {
+			t.Fatalf("access line %d is not JSON: %v (%q)", i, err, lines[i])
+		}
+		if line.Status != tc.want || line.Method != tc.method {
+			t.Errorf("%s: access line records %s %d, want %s %d",
+				tc.name, line.Method, line.Status, tc.method, tc.want)
+		}
+	}
+}
+
+// lockedWriter serializes test reads of the access-log buffer against
+// the handler's writes.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }
