@@ -179,20 +179,8 @@ func main() {
 	}
 	if all || *expName == "ordering" {
 		ran = true
-		run("Ablation: hub ordering (degree vs id vs random)", func() error {
-			ds := datasets
-			if *dataset == "" {
-				// Random ordering explodes label sizes; keep the sweep to
-				// the two smallest analogs unless one was named.
-				g04, _ := exp.DatasetByName("G04")
-				eme, _ := exp.DatasetByName("EME")
-				ds = []exp.Dataset{g04, eme}
-			}
-			var rows []exp.OrderingRow
-			for _, d := range ds {
-				rows = append(rows, exp.AblationOrdering(scale, d)...)
-			}
-			return exp.WriteOrdering(os.Stdout, rows)
+		run("Extension: hub-ordering shootout — degree vs random vs betweenness vs coverage", func() error {
+			return exp.WriteOrdering(os.Stdout, exp.Ordering(scale))
 		})
 	}
 	if *expName == "bench" {

@@ -52,6 +52,9 @@ func main() {
 		indexIn   = flag.String("index", "", "bootstrap from a serialized index file (v1/v2/v3) instead of building one")
 		useMmap   = flag.Bool("mmap", false, "with -index and a v3 file: mmap the label arena instead of reading it (serve before labels page in)")
 		compress  = flag.Bool("compress", false, "build with compressed label storage (delta+varint frozen arena + bloom-screened joins)")
+		orderBy   = flag.String("order", "degree", "hub-ordering strategy: degree | id | random | betweenness | coverage")
+		orderSeed = flag.Int64("order-seed", 0, "sampling seed for the betweenness/coverage/random orderings")
+		rerank    = flag.Duration("rerank", 0, "enable online per-shard hub re-ranking, checking drift at this interval (0 = off)")
 		vertices  = flag.Int("vertices", 0, "bootstrap an empty graph with this many vertices (when -graph is unset)")
 		topK      = flag.Int("k", 0, "maintain a top-k cycle-count watchlist and serve /top")
 		maxBatch  = flag.Int("max-batch", 256, "max update ops applied per grace period")
@@ -76,7 +79,15 @@ func main() {
 		log.Fatalf("cscd: %v", err)
 	}
 
-	buildOpts := []cyclehub.Option{cyclehub.WithWorkers(*workers)}
+	ordering, err := cyclehub.ParseOrdering(*orderBy)
+	if err != nil {
+		log.Fatalf("cscd: %v", err)
+	}
+	buildOpts := []cyclehub.Option{
+		cyclehub.WithWorkers(*workers),
+		cyclehub.WithOrdering(ordering),
+		cyclehub.WithOrderingSeed(*orderSeed),
+	}
 	if *compress {
 		buildOpts = append(buildOpts, cyclehub.WithCompression())
 	}
@@ -129,6 +140,9 @@ func main() {
 		cyclehub.WithAdmission(policy),
 		cyclehub.WithWALRetry(*walRetry),
 		cyclehub.WithOOBRebuildThreshold(*oobReb),
+	}
+	if *rerank > 0 {
+		opts = append(opts, cyclehub.WithReRanking(*rerank))
 	}
 	if *topK > 0 {
 		opts = append(opts, cyclehub.WithTopK(*topK))

@@ -129,13 +129,55 @@ func WithCompression() Option {
 	return func(c *buildConfig) { c.opts.CompressLabels = true }
 }
 
+// Ordering names a hub-ordering strategy: the total order construction
+// ranks vertices by, which decides which vertices become hubs first and
+// thereby the label size/build time the index ends up with. Answers are
+// identical under every valid ordering (asserted by the order-invariance
+// suite); the ordering is purely a quality knob.
+type Ordering = order.Strategy
+
+// Hub-ordering strategies for WithOrdering. Degree is the paper's
+// recommendation and the default; Betweenness ranks by sampled-BFS
+// betweenness (shortest-path load); Coverage greedily ranks by how many
+// sampled shortest paths a vertex covers that higher ranks don't. On
+// skewed-degree graphs degree is hard to beat; on uniform-degree graphs
+// (meshes, rings) it degenerates to id order and the sampled strategies
+// cut label bytes substantially (see EXPERIMENTS.md, ORD-*).
+const (
+	OrderDegree      = order.Degree
+	OrderID          = order.ID
+	OrderRandom      = order.Random
+	OrderBetweenness = order.Betweenness
+	OrderCoverage    = order.Coverage
+)
+
+// ParseOrdering maps a flag string (degree | id | random | betweenness |
+// coverage) to a strategy.
+func ParseOrdering(s string) (Ordering, error) { return order.ParseStrategy(s) }
+
+// WithOrdering selects the hub-ordering strategy construction and every
+// scoped rebuild use (default OrderDegree). A sharded index computes the
+// order per component; a non-degree choice serializes as the v4 format,
+// which records the strategy globally and per shard.
+func WithOrdering(s Ordering) Option {
+	return func(c *buildConfig) { c.opts.Order = s }
+}
+
+// WithOrderingSeed seeds the sampling strategies (OrderBetweenness,
+// OrderCoverage, OrderRandom). The order is a pure function of (graph,
+// strategy, seed), so a fixed seed makes repeated builds byte-identical.
+func WithOrderingSeed(seed int64) Option {
+	return func(c *buildConfig) { c.opts.OrderSeed = seed }
+}
+
 // Index answers CycleCount queries on a dynamic directed graph.
 type Index struct {
 	x csc.Counter
 }
 
 // BuildIndex constructs a CSC index over g using the paper's degree
-// ordering. The index takes ownership of g.
+// ordering (see WithOrdering for the alternatives). The index takes
+// ownership of g.
 //
 // By default the graph is partitioned by condensation: every directed
 // cycle lies inside one strongly connected component, so trivial
@@ -150,7 +192,11 @@ func BuildIndex(g *Graph, options ...Option) *Index {
 		o(&cfg)
 	}
 	if cfg.monolithic {
-		x, _ := csc.Build(g, order.ByDegree(g), cfg.opts)
+		ord, err := order.Compute(g, cfg.opts.Order, cfg.opts.OrderSeed)
+		if err != nil {
+			ord = order.ByDegree(g)
+		}
+		x, _ := csc.Build(g, ord, cfg.opts)
 		return &Index{x: x}
 	}
 	x, _ := csc.BuildSharded(g, cfg.opts)
@@ -501,6 +547,22 @@ func WithPprof() EngineOption {
 	return func(c *engineConfig) { c.httpOpts.Pprof = true }
 }
 
+// WithReRanking enables online per-shard hub re-ranking on a sharded
+// index: the engine watches per-hub hit counters on the join kernel and,
+// every interval, when one shard's query traffic has drifted away from
+// its build-time hub order (hit-weighted mean rank past a threshold), it
+// recomputes that shard's order from the observed hits and rebuilds it
+// through the out-of-band path — readers keep serving the exact current
+// answers until the re-ranked shard swaps in atomically. Answers never
+// change (the graph didn't); only label shape chases the workload.
+// Re-ranking yields to all structural work and is skipped entirely on
+// monolithic indexes. EngineStats.ReRanks counts swaps;
+// cscd_reranks_total and the per-shard cscd_shard_order gauge expose
+// them on /metrics. 0 (the default) disables.
+func WithReRanking(interval time.Duration) EngineOption {
+	return func(c *engineConfig) { c.opts.ReRankInterval = interval }
+}
+
 // WithUpdateWorkers sets how many goroutines the writer uses to apply
 // each coalesced batch (0 = all cores, 1 = sequential). The default
 // sharded index plans every batch per strongly connected component and
@@ -658,6 +720,8 @@ type EngineStats struct {
 	ReadOnly                   bool
 	Degraded                   []int
 	OOBRebuilds, OOBSuperseded uint64
+	// ReRanks counts online hub re-rank swaps (see WithReRanking).
+	ReRanks uint64
 }
 
 // Stats snapshots the engine counters; safe concurrently with updates.
@@ -672,6 +736,7 @@ func (e *Engine) Stats() EngineStats {
 		OpsShed: s.OpsShed, OpsOverload: s.OpsOverload,
 		WALRetries: s.WALRetries, ReadOnly: s.ReadOnly, Degraded: s.Degraded,
 		OOBRebuilds: s.OOBRebuilds, OOBSuperseded: s.OOBSuperseded,
+		ReRanks: s.ReRanks,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 )
 
 func buildTriangle(t *testing.T) *Index {
@@ -518,4 +519,71 @@ func TestEngineWithUpdateWorkers(t *testing.T) {
 	if st.OpsApplied == 0 || st.OpsRejected != 0 {
 		t.Fatalf("stats after batch: %+v", st)
 	}
+}
+
+func TestOrderingOptions(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	n := 30
+	g := NewGraph(n)
+	for i := 0; i < 3*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	for _, s := range []Ordering{OrderDegree, OrderID, OrderRandom, OrderBetweenness, OrderCoverage} {
+		for _, mono := range []bool{false, true} {
+			opts := []Option{WithOrdering(s), WithOrderingSeed(9)}
+			if mono {
+				opts = append(opts, WithMonolithic())
+			}
+			idx := BuildIndex(g.Clone(), opts...)
+			for v := 0; v < n; v++ {
+				if got, want := idx.CycleCount(v), CycleCountBFS(g, v); got != want {
+					t.Fatalf("%v mono=%v vertex %d: index %+v, BFS %+v", s, mono, v, got, want)
+				}
+			}
+		}
+	}
+	if _, err := ParseOrdering("coverage"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOrdering("bogus"); err == nil {
+		t.Fatal("unknown ordering accepted")
+	}
+}
+
+func TestReRankingOption(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	n := 24
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		_ = g.AddEdge(v, (v+1)%n)
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			_ = g.AddEdge(u, v)
+		}
+	}
+	ref := g.Clone()
+	eng, err := NewEngine(BuildIndex(g), WithReRanking(time.Millisecond), WithoutReadCache(), WithBatch(8, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Feed the drift signal; whether or not a re-rank fires within the
+	// window (thresholds are conservative by default), answers never move.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for v := 0; v < n; v++ {
+			if got, want := eng.CycleCount(v), CycleCountBFS(ref, v); got != want {
+				t.Fatalf("vertex %d: engine %+v, BFS %+v", v, got, want)
+			}
+		}
+	}
+	if err := eng.WaitRebuilds(); err != nil {
+		t.Fatal(err)
+	}
+	eng.Stats() // ReRanks is a valid field whether or not one fired
 }

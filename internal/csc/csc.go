@@ -55,6 +55,15 @@ type Options struct {
 	// and the engine re-freezes on quiesce. Sharded indexes built with it
 	// serialize as the mmap-able v3 format.
 	CompressLabels bool
+	// Order selects the hub-ordering strategy every shard build and
+	// scoped rebuild uses (order.Compute over the component's induced
+	// subgraph). The zero value is order.Degree — the paper's ordering —
+	// so existing builds are unchanged. Indexes carrying a non-degree
+	// order serialize as the v4 format.
+	Order order.Strategy
+	// OrderSeed seeds the sampling strategies (betweenness, coverage,
+	// random). Builds are deterministic for a fixed seed.
+	OrderSeed int64
 }
 
 // Build converts g, lifts the ordering, and constructs the CSC labeling.

@@ -50,6 +50,13 @@ type Rebuild struct {
 	opts   Options
 	built  []*shard // filled by Run
 
+	// ords carries explicit per-component hub orders (aligned with comps;
+	// nil or a nil entry means Run computes the order from strats). The
+	// online re-ranker uses it to rebuild a shard under a hit-derived
+	// order no strategy could recompute offline.
+	ords   []*order.Order
+	strats []order.Strategy // per-component strategy tags, aligned with comps
+
 	// frozenAt is when the deferral's shards froze — inherited across
 	// supersessions, so it anchors the full stale window a reader could
 	// have observed, not just the latest recomputation's.
@@ -106,9 +113,22 @@ func (r *Rebuild) Run(workers int) {
 			inner.Workers = workers
 		}
 		build := func(i int) {
-			idx, _ := Build(r.subs[i], order.ByDegree(r.subs[i]), inner)
+			opts := inner
+			strat := opts.Order
+			if i < len(r.strats) {
+				strat = r.strats[i]
+			}
+			ord := (*order.Order)(nil)
+			if i < len(r.ords) {
+				ord = r.ords[i]
+			}
+			if ord == nil {
+				opts.Order = strat
+				ord = orderFor(r.subs[i], opts)
+			}
+			idx, _ := Build(r.subs[i], ord, inner)
 			idx.eng.ReleaseScratch()
-			built[i] = &shard{verts: r.comps[i], idx: idx}
+			built[i] = &shard{verts: r.comps[i], idx: idx, strat: strat}
 		}
 		if len(r.comps) == 1 || workers == 1 {
 			for i := range r.comps {

@@ -47,12 +47,19 @@ func goldenBytes(t *testing.T, version int) []byte {
 		if _, err := x.WriteTo(&buf); err != nil {
 			t.Fatal(err)
 		}
+	case 4:
+		// A non-degree strategy forces the order-provenance tag, and with
+		// it the v4 magic (a degree build emits byte-identical v3).
+		x, _ := BuildSharded(g, Options{Workers: 1, CompressLabels: true, Order: order.Coverage, OrderSeed: 7})
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return buf.Bytes()
 }
 
-// TestGoldenFiles pins all three on-disk formats: the checked-in v1, v2,
-// and v3 files must load, answer exactly the oracle counts, and
+// TestGoldenFiles pins all four on-disk formats: the checked-in v1, v2,
+// v3, and v4 files must load, answer exactly the oracle counts, and
 // re-serialize to the stored bytes. A failure means the format changed —
 // bump the magic and keep the old reader instead of breaking deployed
 // index files.
@@ -64,6 +71,7 @@ func TestGoldenFiles(t *testing.T) {
 		{"golden_v1.csc", 1},
 		{"golden_v2.csc", 2},
 		{"golden_v3.csc", 3},
+		{"golden_v4.csc", 4},
 	} {
 		path := filepath.Join("testdata", tc.file)
 		if *updateGolden {
@@ -107,7 +115,7 @@ func TestGoldenFiles(t *testing.T) {
 // corruptions of the v2 shard table and the v3 label arena.
 func FuzzRead(f *testing.F) {
 	g := goldenGraph()
-	var v1, v2, v3 bytes.Buffer
+	var v1, v2, v3, v4 bytes.Buffer
 	mono, _ := Build(g.Clone(), order.ByDegree(g), Options{Workers: 1})
 	if _, err := mono.WriteTo(&v1); err != nil {
 		f.Fatal(err)
@@ -120,9 +128,14 @@ func FuzzRead(f *testing.F) {
 	if _, err := comp.WriteTo(&v3); err != nil {
 		f.Fatal(err)
 	}
+	ordered, _ := BuildSharded(g.Clone(), Options{Workers: 1, CompressLabels: true, Order: order.Coverage, OrderSeed: 7})
+	if _, err := ordered.WriteTo(&v4); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(v1.Bytes())
 	f.Add(v2.Bytes())
 	f.Add(v3.Bytes())
+	f.Add(v4.Bytes())
 	// Truncations: every prefix of a valid file is invalid, and the loader
 	// must say so rather than crash.
 	for _, cut := range []int{1, 8, 9, 13, 21, v2.Len() / 2, v2.Len() - 1} {
@@ -153,6 +166,27 @@ func FuzzRead(f *testing.F) {
 			f.Add(mut)
 		}
 	}
+	// v4 corruptions, aimed at the order-provenance section: offset 17 is
+	// the global order-strategy byte (right after the pll strategy byte),
+	// the early offsets hit the per-shard strategy tags and order vectors,
+	// and the truncations cut inside them. A cross-format attack — a v4
+	// body relabeled with the v3 magic (so strategy bytes get parsed as
+	// order-vector data) — rides along.
+	for _, off := range []int{17, 18, 30, 45, 60, v4.Len() / 2, v4.Len() - 2} {
+		if off >= 0 && off < v4.Len() {
+			mut := append([]byte(nil), v4.Bytes()...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	for _, cut := range []int{9, 17, 18, 40, v4.Len() / 2, v4.Len() - 1} {
+		if cut < v4.Len() {
+			f.Add(v4.Bytes()[:cut])
+		}
+	}
+	relabeled := append([]byte(nil), v4.Bytes()...)
+	copy(relabeled, []byte(v3Magic))
+	f.Add(relabeled)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		x, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -182,12 +216,12 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
-// Every strict prefix of a valid v2 or v3 file must fail to parse — the
-// loader may never silently accept a truncated shard section or label
-// arena. For v3 the parser also rejects trailing garbage, so extensions
-// of a valid file fail too.
+// Every strict prefix of a valid v2, v3, or v4 file must fail to parse —
+// the loader may never silently accept a truncated shard section, label
+// arena, or order-strategy tag. The flat v3/v4 parsers also reject
+// trailing garbage, so extensions of a valid file fail too.
 func TestShardedReadAllPrefixesFail(t *testing.T) {
-	for _, version := range []int{2, 3} {
+	for _, version := range []int{2, 3, 4} {
 		full := goldenBytes(t, version)
 		for cut := 0; cut < len(full); cut++ {
 			if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
@@ -195,11 +229,13 @@ func TestShardedReadAllPrefixesFail(t *testing.T) {
 			}
 		}
 	}
-	v3 := goldenBytes(t, 3)
-	for _, extra := range [][]byte{{0}, {0xff}, {1, 2, 3, 4}} {
-		ext := append(append([]byte(nil), v3...), extra...)
-		if _, err := Read(bytes.NewReader(ext)); err == nil {
-			t.Fatalf("v3 file with %d trailing bytes parsed successfully", len(extra))
+	for _, version := range []int{3, 4} {
+		full := goldenBytes(t, version)
+		for _, extra := range [][]byte{{0}, {0xff}, {1, 2, 3, 4}} {
+			ext := append(append([]byte(nil), full...), extra...)
+			if _, err := Read(bytes.NewReader(ext)); err == nil {
+				t.Fatalf("v%d file with %d trailing bytes parsed successfully", version, len(extra))
+			}
 		}
 	}
 }

@@ -1,0 +1,156 @@
+package csc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/order"
+	"repro/internal/testgraphs"
+)
+
+// orderedStrategies is every strategy a build can be configured with
+// (Hits is provenance-only: it tags re-ranked shards, never a build).
+func orderedStrategies() []order.Strategy {
+	return []order.Strategy{order.Degree, order.ID, order.Random, order.Betweenness, order.Coverage}
+}
+
+// A non-degree build must write the v4 magic and round-trip its ordering
+// provenance exactly: the global strategy, every per-shard strategy tag,
+// every per-shard hub order, and the answers — through both the strict
+// stream reader and the lazy mmap reader — then re-serialize
+// byte-identically.
+func TestV4RoundTrip(t *testing.T) {
+	g := testgraphs.ManySmallSCC(6, 4, 30, 10)
+	n := g.NumVertices()
+	for _, strat := range []order.Strategy{order.Random, order.Betweenness, order.Coverage} {
+		x, _ := BuildSharded(g.Clone(), Options{Workers: 1, CompressLabels: true, Order: strat, OrderSeed: 5})
+
+		var buf bytes.Buffer
+		if _, err := x.WriteTo(&buf); err != nil {
+			t.Fatalf("%s: WriteTo: %v", strat, err)
+		}
+		raw := buf.Bytes()
+		if string(raw[:8]) != v4Magic {
+			t.Fatalf("%s: non-degree build wrote magic %q, want v4", strat, raw[:8])
+		}
+
+		got, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: Read(v4): %v", strat, err)
+		}
+		sx := got.(*Sharded)
+		if sx.opts.Order != strat {
+			t.Fatalf("%s: global strategy loaded as %s", strat, sx.opts.Order)
+		}
+		for _, st := range sx.ShardStats() {
+			if st.Order != strat {
+				t.Fatalf("%s: shard %d strategy loaded as %s", strat, st.Slot, st.Order)
+			}
+		}
+		for si, sh := range x.liveShards() {
+			lsh := sx.liveShards()[si]
+			a, b := sh.idx.eng.Ord, lsh.idx.eng.Ord
+			if a.Len() != b.Len() {
+				t.Fatalf("%s: shard %d order length differs", strat, si)
+			}
+			for r := 0; r < a.Len(); r++ {
+				if a.VertexAt(r) != b.VertexAt(r) {
+					t.Fatalf("%s: shard %d order differs at rank %d", strat, si, r)
+				}
+			}
+		}
+		assertCountersAgree(t, "v4 stream reload", x, got, n)
+
+		var buf2 bytes.Buffer
+		if _, err := sx.WriteTo(&buf2); err != nil {
+			t.Fatalf("%s: re-serialize: %v", strat, err)
+		}
+		if !bytes.Equal(raw, buf2.Bytes()) {
+			t.Fatalf("%s: v4 re-serialization not byte-identical", strat)
+		}
+
+		path := filepath.Join(t.TempDir(), "index.csc")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mm, err := ReadFile(path, true)
+		if err != nil {
+			t.Fatalf("%s: ReadFile(mmap): %v", strat, err)
+		}
+		assertCountersAgree(t, "v4 mmap reload", x, mm, n)
+		if ms := mm.(*Sharded); ms.opts.Order != strat {
+			t.Fatalf("%s: mmap load lost strategy (got %s)", strat, ms.opts.Order)
+		}
+	}
+}
+
+// A degree build carries no provenance worth a format bump: it must keep
+// emitting byte-stable v3, so files written before v4 existed and the
+// golden fixtures stay valid.
+func TestDegreeBuildStaysV3(t *testing.T) {
+	g := testgraphs.ManySmallSCC(6, 4, 30, 10)
+	x, _ := BuildSharded(g, Options{Workers: 1, CompressLabels: true})
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf.Bytes()[:8]) != v3Magic {
+		t.Fatalf("degree build wrote magic %q, want v3", buf.Bytes()[:8])
+	}
+}
+
+// The v2 format predates strategy tags, but the hub orders themselves
+// ride in the embedded v1 blobs — a v2 round-trip of a non-degree build
+// loses only the tag (reloading as Degree), never the order or the
+// answers.
+func TestV2RoundTripKeepsOrders(t *testing.T) {
+	g := testgraphs.ManySmallSCC(6, 4, 30, 10)
+	x, _ := BuildSharded(g.Clone(), Options{Workers: 1, Order: order.Coverage, OrderSeed: 5})
+	var buf bytes.Buffer
+	if _, err := x.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf.Bytes()[:8]) != shardedMagic {
+		t.Fatalf("uncompressed build wrote magic %q, want v2", buf.Bytes()[:8])
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx := got.(*Sharded)
+	for si, sh := range x.liveShards() {
+		lsh := sx.liveShards()[si]
+		a, b := sh.idx.eng.Ord, lsh.idx.eng.Ord
+		for r := 0; r < a.Len(); r++ {
+			if a.VertexAt(r) != b.VertexAt(r) {
+				t.Fatalf("shard %d order differs at rank %d after v2 round-trip", si, r)
+			}
+		}
+	}
+	assertCountersAgree(t, "v2 reload", x, got, g.NumVertices())
+}
+
+// Two builds under the same options must serialize byte-identically for
+// every strategy — the whole-index form of the tie-breaking determinism
+// the order package promises.
+func TestRepeatedBuildsByteIdentical(t *testing.T) {
+	g := testgraphs.DAGHeavy(150, 450, 4, 9)
+	for _, strat := range orderedStrategies() {
+		opts := Options{Workers: 1, CompressLabels: true, Order: strat, OrderSeed: 11}
+		var a, b bytes.Buffer
+		x1, _ := BuildSharded(g.Clone(), opts)
+		if _, err := x1.WriteTo(&a); err != nil {
+			t.Fatal(err)
+		}
+		x2, _ := BuildSharded(g.Clone(), opts)
+		if _, err := x2.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s: repeated builds serialize differently (%d vs %d bytes)",
+				strat, a.Len(), b.Len())
+		}
+	}
+}

@@ -10,18 +10,20 @@ import (
 	"repro/internal/pll"
 )
 
-// Three on-disk forms exist. A monolithic Index serializes as the v1
+// Four on-disk forms exist. A monolithic Index serializes as the v1
 // format ("CSCIDX01"): its Gb labeling, self-contained, with the original
 // graph reconstructed from the conversion structure on load. A Sharded
 // index serializes as the v2 format ("CSCIDX02", sharded_serialize.go):
 // the global graph plus the shard table and one embedded v1 labeling blob
 // per shard — or, when built with Options.CompressLabels, as the v3
 // format ("CSCIDX03", v3.go): the same structure with each shard's labels
-// as a compressed frozen arena in a flat, mmap-able layout. Read
-// dispatches on the magic, so consumers — cyclehub.ReadIndex, the
-// engine's WAL/snapshot recovery, the csc CLI — load any form
-// transparently, and files written before sharding or compression existed
-// keep loading.
+// as a compressed frozen arena in a flat, mmap-able layout. The v4 format
+// ("CSCIDX04") is v3 plus per-shard ordering-strategy provenance, emitted
+// only when a non-degree hub order needs recording (the hub orders
+// themselves round-trip explicitly in every format). Read dispatches on
+// the magic, so consumers — cyclehub.ReadIndex, the engine's WAL/snapshot
+// recovery, the csc CLI — load any form transparently, and files written
+// before sharding or compression existed keep loading.
 
 // WriteTo serializes the index (the Gb labeling is self-contained; the
 // original graph is reconstructed on load from the conversion structure).
@@ -40,8 +42,8 @@ func Read(r io.Reader) (Counter, error) {
 	if string(magic) == shardedMagic {
 		return readSharded(br)
 	}
-	if string(magic) == v3Magic {
-		return readV3(br)
+	if string(magic) == v3Magic || string(magic) == v4Magic {
+		return readV34(br)
 	}
 	return readMonolithic(br)
 }

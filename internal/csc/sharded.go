@@ -65,11 +65,13 @@ type Sharded struct {
 }
 
 // shard is one non-trivial SCC: its member vertices (sorted ascending —
-// position is the local id) and the monolithic index over the induced
-// subgraph.
+// position is the local id), the monolithic index over the induced
+// subgraph, and the ordering strategy that produced the index's hub
+// order (provenance — the order itself lives in the index).
 type shard struct {
 	verts []int32
 	idx   *Index
+	strat order.Strategy
 }
 
 // BuildSharded partitions g by condensation and builds one monolithic CSC
@@ -144,11 +146,23 @@ func BuildSharded(g *graph.Digraph, opts Options) (*Sharded, pll.BuildStats) {
 }
 
 // buildShard constructs one component's sub-index over its induced
-// subgraph with the component's own degree ordering.
+// subgraph with the component's own order under the configured strategy.
 func buildShard(g *graph.Digraph, verts []int32, opts Options) *shard {
 	sub := partition.Induced(g, verts)
-	idx, _ := Build(sub, order.ByDegree(sub), opts)
-	return &shard{verts: verts, idx: idx}
+	idx, _ := Build(sub, orderFor(sub, opts), opts)
+	return &shard{verts: verts, idx: idx, strat: opts.Order}
+}
+
+// orderFor computes the hub order for one component's induced subgraph
+// under the configured strategy, falling back to degree on an
+// uncomputable strategy value (Hits, or an unknown byte from a hostile
+// file — the order vector itself always round-trips explicitly).
+func orderFor(sub *graph.Digraph, opts Options) *order.Order {
+	ord, err := order.Compute(sub, opts.Order, opts.OrderSeed)
+	if err != nil {
+		return order.ByDegree(sub)
+	}
+	return ord
 }
 
 func (x *Sharded) stats() pll.BuildStats {
@@ -468,12 +482,13 @@ func (x *Sharded) Rebuilds() (merges, splits int) { return x.merges, x.splits }
 
 // ShardStat is one live shard's footprint for per-shard gauges.
 type ShardStat struct {
-	Slot       int    // serving slot id
-	Vertices   int    // member vertices
-	Entries    int    // label entries
-	LabelBytes int    // label footprint (8 bytes per entry)
-	Rebuilds   uint64 // fresh installs this slot has served
-	Stale      bool   // frozen, serving pre-deferral answers
+	Slot       int            // serving slot id
+	Vertices   int            // member vertices
+	Entries    int            // label entries
+	LabelBytes int            // label footprint (8 bytes per entry)
+	Rebuilds   uint64         // fresh installs this slot has served
+	Stale      bool           // frozen, serving pre-deferral answers
+	Order      order.Strategy // strategy that produced the shard's hub order
 }
 
 // ShardStats reports every live shard's footprint, ordered by slot —
@@ -491,6 +506,7 @@ func (x *Sharded) ShardStats() []ShardStat {
 			Entries:    entries,
 			LabelBytes: 8 * entries,
 			Stale:      x.stale[int32(si)],
+			Order:      sh.strat,
 		}
 		if si < len(x.slotRebuilds) {
 			st.Rebuilds = x.slotRebuilds[si]

@@ -46,12 +46,13 @@ const shardedMagic = "CSCIDX02"
 // constant.
 const maxShardedVertices = 1 << 21
 
-// WriteTo serializes the sharded index: the compressed v3 format when
-// the index was built with Options.CompressLabels, the v2 format
+// WriteTo serializes the sharded index: the compressed v3/v4 format
+// when the index was built with Options.CompressLabels (v4 exactly when
+// a non-degree ordering strategy needs recording), the v2 format
 // otherwise.
 func (x *Sharded) WriteTo(w io.Writer) (int64, error) {
 	if x.opts.CompressLabels {
-		return x.writeV3(w)
+		return x.writeV34(w)
 	}
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)

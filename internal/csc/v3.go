@@ -46,18 +46,52 @@ import (
 // pll.Index.FreezeCompressed packs and AttachFrozen expects. Stream loads
 // (csc.Read) run the strict full decode over every label section; mmap
 // loads check only the structural invariants so label pages stay cold.
+//
+// Format v4 ("CSCIDX04") is v3 plus ordering-strategy provenance: one
+// global order-strategy byte after the maintenance strategy byte, and
+// one per-shard order-strategy byte immediately before each shard's
+// order vector — so a loaded index knows which strategy produced each
+// shard's hub order (the order itself always round-trips explicitly).
+// The writer emits v3 whenever every strategy is degree, so indexes
+// built with the defaults stay byte-identical to pre-v4 files; readers
+// accept both.
 
-const v3Magic = "CSCIDX03"
+const (
+	v3Magic = "CSCIDX03"
+	v4Magic = "CSCIDX04"
+)
 
-// writeV3 serializes the sharded index with compressed label arenas.
-// Shards whose updates thawed lists re-freeze first (verbatim section
-// copies for the untouched lists), so the written arena is current.
-func (x *Sharded) writeV3(w io.Writer) (int64, error) {
+// needsV4 reports whether any ordering provenance would be lost in v3 —
+// a non-degree build default, or any live shard carrying a non-degree
+// order tag.
+func (x *Sharded) needsV4() bool {
+	if x.opts.Order != order.Degree {
+		return true
+	}
+	for _, sh := range x.shards {
+		if sh != nil && sh.strat != order.Degree {
+			return true
+		}
+	}
+	return false
+}
+
+// writeV34 serializes the sharded index with compressed label arenas, as
+// v4 when ordering provenance needs recording and byte-stable v3
+// otherwise. Shards whose updates thawed lists re-freeze first (verbatim
+// section copies for the untouched lists), so the written arena is
+// current.
+func (x *Sharded) writeV34(w io.Writer) (int64, error) {
+	v4 := x.needsV4()
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
 
-	if _, err := bw.WriteString(v3Magic); err != nil {
+	magic := v3Magic
+	if v4 {
+		magic = v4Magic
+	}
+	if _, err := bw.WriteString(magic); err != nil {
 		return cw.n, err
 	}
 	n := x.g.NumVertices()
@@ -69,6 +103,11 @@ func (x *Sharded) writeV3(w io.Writer) (int64, error) {
 	}
 	if err := write(uint8(x.opts.Strategy)); err != nil {
 		return cw.n, err
+	}
+	if v4 {
+		if err := write(uint8(x.opts.Order)); err != nil {
+			return cw.n, err
+		}
 	}
 	for u := 0; u < n; u++ {
 		for _, v := range x.g.Out(u) {
@@ -114,6 +153,11 @@ func (x *Sharded) writeV3(w io.Writer) (int64, error) {
 				if err := write(uint32(v)); err != nil {
 					return cw.n, err
 				}
+			}
+		}
+		if v4 {
+			if err := write(uint8(sh.strat)); err != nil {
+				return cw.n, err
 			}
 		}
 		for r := 0; r < nb; r++ {
@@ -172,11 +216,11 @@ func (p *v3parser) u64() (uint64, error) {
 	return binary.LittleEndian.Uint64(b), nil
 }
 
-// parseV3 loads a complete v3 image. With lazyLabels the label sections
-// are only structurally checked (offset-table invariants), never
-// decoded — the mmap cold-start path; stream loads pass false and get
-// the full strict per-entry validation.
-func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
+// parseV34 loads a complete v3 or v4 image (dispatching on the magic).
+// With lazyLabels the label sections are only structurally checked
+// (offset-table invariants), never decoded — the mmap cold-start path;
+// stream loads pass false and get the full strict per-entry validation.
+func parseV34(data []byte, lazyLabels bool) (*Sharded, error) {
 	bad := func(format string, args ...any) error {
 		return fmt.Errorf("%w: %s", pll.ErrBadFormat, fmt.Sprintf(format, args...))
 	}
@@ -185,7 +229,8 @@ func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	if string(magic) != v3Magic {
+	v4 := string(magic) == v4Magic
+	if !v4 && string(magic) != v3Magic {
 		return nil, bad("bad magic %q", magic)
 	}
 	n32, err := p.u32()
@@ -201,6 +246,17 @@ func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
 		return nil, err
 	}
 	strat := pll.Strategy(sb[0])
+	ostrat := order.Degree
+	if v4 {
+		ob, err := p.take(1)
+		if err != nil {
+			return nil, err
+		}
+		ostrat = order.Strategy(ob[0])
+		if !ostrat.Valid() {
+			return nil, bad("unknown order strategy %d", ob[0])
+		}
+	}
 	n, m := int(n32), int(m32)
 	if n > maxShardedVertices {
 		return nil, bad("vertex count %d exceeds limit %d", n, maxShardedVertices)
@@ -235,7 +291,7 @@ func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
 
 	x := &Sharded{
 		g:       g,
-		opts:    Options{Strategy: strat, CompressLabels: true},
+		opts:    Options{Strategy: strat, CompressLabels: true, Order: ostrat},
 		shardOf: make([]int32, n),
 		localID: make([]int32, n),
 	}
@@ -302,6 +358,17 @@ func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
 				return nil, bad("shard %d Gb edge (%d,%d): %v", sid, u, v, err)
 			}
 		}
+		shardStrat := order.Degree
+		if v4 {
+			ob, err := p.take(1)
+			if err != nil {
+				return nil, bad("truncated shard %d order strategy", sid)
+			}
+			shardStrat = order.Strategy(ob[0])
+			if !shardStrat.Valid() {
+				return nil, bad("shard %d unknown order strategy %d", sid, ob[0])
+			}
+		}
 		vertexAt := make([]int, nb)
 		for r := range vertexAt {
 			v, err := p.u32()
@@ -364,7 +431,7 @@ func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
 		if !graph.Equal(sub, partition.Induced(g, verts)) {
 			return nil, bad("shard %d subgraph does not match the global graph", sid)
 		}
-		x.shards = append(x.shards, &shard{verts: verts, idx: &Index{g: sub, eng: eng}})
+		x.shards = append(x.shards, &shard{verts: verts, idx: &Index{g: sub, eng: eng}, strat: shardStrat})
 	}
 	if p.pos != len(data) {
 		return nil, bad("%d trailing bytes", len(data)-p.pos)
@@ -390,30 +457,30 @@ func parseV3(data []byte, lazyLabels bool) (*Sharded, error) {
 	return x, nil
 }
 
-// readV3 loads a v3 stream: the image is read fully and labels are
+// readV34 loads a v3/v4 stream: the image is read fully and labels are
 // strictly validated (the trusted path — use ReadFile with mmap for the
 // lazy form).
-func readV3(br *bufio.Reader) (*Sharded, error) {
+func readV34(br *bufio.Reader) (*Sharded, error) {
 	data, err := io.ReadAll(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", pll.ErrBadFormat, err)
 	}
-	return parseV3(data, false)
+	return parseV34(data, false)
 }
 
-// ReadFile loads an index file. With useMmap and a v3 file, the label
+// ReadFile loads an index file. With useMmap and a v3/v4 file, the label
 // sections alias a read-only mapping of the file and are only
 // structurally checked: queries serve immediately and label pages fault
 // in on first touch. The mapping lives for the process lifetime (it backs
-// live label sections) and is deliberately never unmapped. Non-v3 files
+// live label sections) and is deliberately never unmapped. Other formats
 // and platforms without mmap support fall back to a normal strict read.
 func ReadFile(path string, useMmap bool) (Counter, error) {
 	if useMmap {
 		if data, err := mmapFile(path); err == nil {
-			if len(data) >= 8 && string(data[:8]) == v3Magic {
-				return parseV3(data, true)
+			if len(data) >= 8 && (string(data[:8]) == v3Magic || string(data[:8]) == v4Magic) {
+				return parseV34(data, true)
 			}
-			// Not a v3 image: every byte decodes on load anyway, so parse
+			// Not a flat image: every byte decodes on load anyway, so parse
 			// the mapping as a plain stream.
 			return Read(bytes.NewReader(data))
 		}

@@ -178,6 +178,7 @@ func (e *Engine) initObs() {
 		_, s := sx.OOBRebuilds()
 		return uint64(s)
 	})
+	reg.CounterFunc("cscd_reranks_total", "online hub re-rank rebuilds initiated", e.reranks.Load)
 	// Per-shard footprint, one sample per live slot. Each collector takes
 	// one shard-stats pass under a reader epoch — scrape-time only.
 	shardStats := func() []csc.ShardStat {
@@ -203,6 +204,11 @@ func (e *Engine) initObs() {
 	reg.Collect("cscd_shard_rebuilds", "fresh index installs per shard slot", "shard", func(emit func(string, float64)) {
 		for _, s := range shardStats() {
 			emit(strconv.Itoa(s.Slot), float64(s.Rebuilds))
+		}
+	})
+	reg.Collect("cscd_shard_order", "hub-order strategy wire id serving at each shard slot", "shard", func(emit func(string, float64)) {
+		for _, s := range shardStats() {
+			emit(strconv.Itoa(s.Slot), float64(s.Order))
 		}
 	})
 	reg.Collect("cscd_shard_stale", "1 while the shard slot serves stale answers", "shard", func(emit func(string, float64)) {

@@ -62,11 +62,17 @@ type BenchResult struct {
 	// out-of-band deferral (churn.go).
 	Churn *ChurnRow `json:"churn,omitempty"`
 
-	// Storage is set on the MEM-* rows the suite appends last: the
-	// compressed frozen-arena footprint vs the mutable representation,
-	// bloom pre-screen reject rate, and v3 cold-start latency
-	// (storage.go).
+	// Storage is set on the MEM-* rows the suite appends after CHURN-*:
+	// the compressed frozen-arena footprint vs the mutable
+	// representation, bloom pre-screen reject rate, and v3 cold-start
+	// latency (storage.go).
 	Storage *StorageRow `json:"storage,omitempty"`
+
+	// Ordering is set on the ORD-* rows the suite appends last: the
+	// hub-ordering shootout — label bytes, build time, and query
+	// percentiles per strategy, normalized against the degree baseline
+	// (ordering.go).
+	Ordering *OrderingRow `json:"ordering,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -224,6 +230,21 @@ func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 			Entries:    row.Entries,
 			Bytes:      row.CompressedBytes,
 			Storage:    &row,
+		})
+	}
+	for _, row := range Ordering(s) {
+		row := row
+		out = append(out, BenchResult{
+			Dataset:     fmt.Sprintf("ORD-%s-%s", row.Family, row.Strategy),
+			Scale:       s.String(),
+			Workers:     Workers,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			N:           row.N,
+			M:           row.M,
+			BuildWallNS: row.BuildNS,
+			Entries:     row.Entries,
+			Bytes:       row.LabelBytes,
+			Ordering:    &row,
 		})
 	}
 	return out

@@ -133,13 +133,15 @@ func WriteScaling(w io.Writer, rows []ScalingRow) error {
 	return tw.Flush()
 }
 
-// WriteOrdering renders the hub-ordering ablation.
+// WriteOrdering renders the hub-ordering shootout.
 func WriteOrdering(w io.Writer, rows []OrderingRow) error {
 	tw := newTab(w)
-	fmt.Fprintln(tw, "Graph\tordering\tbuild time\tlabel entries\tavg query")
+	fmt.Fprintln(tw, "family\tstrategy\tbuild\tentries\tlabel KB\tvs degree\tq p50\tq p99")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.0fns\n",
-			r.Dataset, r.Ordering, fmtDur(r.BuildTime), r.Entries, r.QueryNs)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.1f\t%.3f\t%dns\t%dns\n",
+			r.Family, r.Strategy, fmtDur(time.Duration(r.BuildNS)),
+			r.Entries, float64(r.LabelBytes)/1024, r.BytesVsDegree,
+			r.QueryP50NS, r.QueryP99NS)
 	}
 	return tw.Flush()
 }

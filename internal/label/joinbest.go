@@ -1,0 +1,126 @@
+package label
+
+import (
+	"repro/internal/bitpack"
+)
+
+// JoinBest is Join with hub attribution: alongside the distance and
+// count it reports which hub answered — the lowest-ranked common hub
+// achieving the minimal distance, or -1 when the lists share no hub.
+// The online re-ranker samples these winners into per-hub hit counters;
+// a well-ordered shard resolves most joins at its top ranks, so the
+// winner's rank is the drift signal. Same dispatch as Join: slice merge
+// (with galloping on skew) when both lists are mutable, bloom screen
+// plus leapfrog cursors when either is frozen. Distance and count are
+// byte-identical to Join's.
+func JoinBest(out, in *List) (dist int, count uint64, hub int) {
+	if out.fz == nil && in.fz == nil {
+		return joinBestEntries(out.e, in.e)
+	}
+	if sigReject(out, in) {
+		return Unreachable, 0, -1
+	}
+	return joinBestCursor(out, in)
+}
+
+// joinBestEntries mirrors JoinEntries, recording the first hub that set
+// the final minimal distance (hubs arrive in ascending rank, so it is
+// the lowest-ranked winner).
+func joinBestEntries(oe, ie []bitpack.Entry) (dist int, count uint64, hub int) {
+	if len(oe) >= gallopRatio*len(ie) {
+		return joinBestGallop(ie, oe)
+	}
+	if len(ie) >= gallopRatio*len(oe) {
+		return joinBestGallop(oe, ie)
+	}
+	dist, hub = Unreachable, -1
+	i, j := 0, 0
+	for i < len(oe) && j < len(ie) {
+		a, b := oe[i], ie[j]
+		ha, hb := a.Hub(), b.Hub()
+		if ha == hb {
+			d := a.Dist() + b.Dist()
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(a.Count(), b.Count())
+				hub = ha
+			} else if d == dist {
+				count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+			}
+			i++
+			j++
+			continue
+		}
+		if ha < hb {
+			i++
+		} else {
+			j++
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0, -1
+	}
+	return dist, count, hub
+}
+
+func joinBestGallop(short, long []bitpack.Entry) (dist int, count uint64, hub int) {
+	dist, hub = Unreachable, -1
+	j := 0
+	for _, a := range short {
+		h := a.Hub()
+		j = seekHub(long, j, h)
+		if j == len(long) {
+			break
+		}
+		b := long[j]
+		if b.Hub() != h {
+			continue
+		}
+		j++
+		d := a.Dist() + b.Dist()
+		if d < dist {
+			dist = d
+			count = bitpack.SatMul(a.Count(), b.Count())
+			hub = h
+		} else if d == dist {
+			count = bitpack.SatAdd(count, bitpack.SatMul(a.Count(), b.Count()))
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0, -1
+	}
+	return dist, count, hub
+}
+
+// joinBestCursor is joinBestEntries in leapfrog-cursor form.
+func joinBestCursor(out, in *List) (dist int, count uint64, hub int) {
+	var a, b lcur
+	a.init(out)
+	b.init(in)
+	dist, hub = Unreachable, -1
+	for a.ok() && b.ok() {
+		ea, eb := a.cur(), b.cur()
+		ha, hb := ea.Hub(), eb.Hub()
+		switch {
+		case ha == hb:
+			d := ea.Dist() + eb.Dist()
+			if d < dist {
+				dist = d
+				count = bitpack.SatMul(ea.Count(), eb.Count())
+				hub = ha
+			} else if d == dist {
+				count = bitpack.SatAdd(count, bitpack.SatMul(ea.Count(), eb.Count()))
+			}
+			a.next()
+			b.next()
+		case ha < hb:
+			a.seekGE(hb)
+		default:
+			b.seekGE(ha)
+		}
+	}
+	if dist == Unreachable {
+		return Unreachable, 0, -1
+	}
+	return dist, count, hub
+}

@@ -15,8 +15,17 @@ func (idx *Index) Dist(s, t int) int {
 
 // CountPaths evaluates SPCnt(s,t) (Equations 1-2): the shortest distance
 // from s to t and the number of shortest paths. Unreachable pairs return
-// (Unreachable, 0). Counts saturate at bitpack.MaxCount.
+// (Unreachable, 0). Counts saturate at bitpack.MaxCount. With hit
+// counters enabled the join also attributes the answer to its winning
+// hub (identical distance and count either way).
 func (idx *Index) CountPaths(s, t int) (dist int, count uint64) {
+	if idx.hubHits != nil {
+		d, c, hub := label.JoinBest(&idx.Out[s], &idx.In[t])
+		if hub >= 0 {
+			idx.hubHits[hub].n.Add(1)
+		}
+		return d, c
+	}
 	return label.Join(&idx.Out[s], &idx.In[t])
 }
 

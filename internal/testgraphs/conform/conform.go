@@ -8,6 +8,7 @@ package conform
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/bfscount"
@@ -64,5 +65,34 @@ func Corpus(t *testing.T) {
 			t.Parallel()
 			Graph(t, ng.Name, ng.G)
 		})
+	}
+}
+
+// OrderInvariance is the metamorphic check behind the pluggable-order
+// machinery: the hub order is a performance lever, never a semantic one,
+// so the cycle counts under ANY valid total order must equal the BFS
+// oracle. It builds the sharded index under every ordering strategy and
+// the monolithic index under seeded random permutations (arbitrary valid
+// total orders, not just ones a strategy would produce), cross-checking
+// every vertex. The input graph is not mutated.
+func OrderInvariance(t testing.TB, name string, g *graph.Digraph) {
+	t.Helper()
+	oracleL, oracleC := bfscount.AllCycleCounts(g)
+	check := func(tag string, x csc.Counter) {
+		t.Helper()
+		for v := 0; v < g.NumVertices(); v++ {
+			l, c := x.CycleCount(v)
+			if l != oracleL[v] || c != oracleC[v] {
+				t.Fatalf("%s/%s: vertex %d got (%d,%d), oracle (%d,%d)", name, tag, v, l, c, oracleL[v], oracleC[v])
+			}
+		}
+	}
+	for s := order.Degree; s.Valid(); s++ {
+		x, _ := csc.BuildSharded(g.Clone(), csc.Options{Order: s, OrderSeed: 3})
+		check(s.String(), x)
+	}
+	for _, seed := range []int64{1, 17, 400} {
+		x, _ := csc.Build(g.Clone(), order.ByRandom(g.NumVertices(), seed), csc.Options{})
+		check(fmt.Sprintf("perm-%d", seed), x)
 	}
 }

@@ -16,6 +16,20 @@ func TestCorpusConformance(t *testing.T) {
 	Corpus(t)
 }
 
+// TestOrderInvariance is the order-invariance metamorphic suite: every
+// ordering strategy plus seeded random permutations must reproduce the
+// BFS oracle's counts on every corpus graph — the hub order can only
+// move label bytes, never answers.
+func TestOrderInvariance(t *testing.T) {
+	for _, ng := range testgraphs.Corpus() {
+		ng := ng
+		t.Run(ng.Name, func(t *testing.T) {
+			t.Parallel()
+			OrderInvariance(t, ng.Name, ng.G)
+		})
+	}
+}
+
 // The corpus families must actually have the partition shapes they claim,
 // or the conformance suite stops covering what it says it covers.
 func TestFamilyShapes(t *testing.T) {

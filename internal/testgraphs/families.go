@@ -105,6 +105,25 @@ func ManySmallSCC(rings, ringLen, bridges int, seed int64) *graph.Digraph {
 	return g
 }
 
+// Torus builds the directed rows×cols grid torus: every vertex has an
+// edge to its right and its down neighbor, both dimensions wrapping — one
+// strongly connected component where every vertex has in- and out-degree
+// 2. The uniform degree makes it the adversarial case for degree-based
+// hub ordering (all ties, so the order degenerates to vertex id, which is
+// row-major — the worst shape for a grid), while structure-aware
+// strategies can still find genuinely covering hubs.
+func Torus(rows, cols int) *graph.Digraph {
+	g := graph.New(rows * cols)
+	id := func(i, j int) int { return ((i+rows)%rows)*cols + (j+cols)%cols }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			_ = g.AddEdge(id(i, j), id(i, j+1))
+			_ = g.AddEdge(id(i, j), id(i+1, j))
+		}
+	}
+	return g
+}
+
 // NamedGraph is one corpus entry.
 type NamedGraph struct {
 	Name string
@@ -122,6 +141,10 @@ func Corpus() []NamedGraph {
 		{"diamond", DiamondCycles()},
 		{"dag", DAG()},
 	}
+	out = append(out,
+		NamedGraph{"torus-small", Torus(4, 5)},
+		NamedGraph{"torus-large", Torus(7, 8)},
+	)
 	for i, seed := range []int64{1, 2} {
 		out = append(out,
 			NamedGraph{fmt.Sprintf("dag-heavy-small-%d", i), DAGHeavy(60, 150, 2, seed)},
