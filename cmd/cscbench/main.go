@@ -8,8 +8,8 @@
 //	cscbench -json BENCH_small.json -scale small
 //
 // Experiments: table4, fig9, fig10, fig11, fig12, case, scaling, ablation,
-// ordering, sharding, updates, queries, churn, storage, bench, or all. Scales: tiny,
-// small (default), full.
+// ordering, sharding, updates, queries, churn, storage, cluster, bench, or all.
+// Scales: tiny, small (default), full.
 // Figure experiments accept -dataset to restrict the run to one graph.
 // -json runs the machine-readable bench suite (see EXPERIMENTS.md) and writes
 // the BENCH_*.json file that tracks the perf trajectory across PRs;
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment: table4|fig9|fig10|fig11|fig12|case|scaling|ablation|ordering|sharding|updates|queries|churn|storage|bench|all")
+		expName = flag.String("exp", "all", "experiment: table4|fig9|fig10|fig11|fig12|case|scaling|ablation|ordering|sharding|updates|queries|churn|storage|cluster|bench|all")
 		scaleIn = flag.String("scale", "small", "dataset scale: tiny|small|full")
 		dataset = flag.String("dataset", "", "restrict to one dataset (e.g. G04)")
 		jsonOut = flag.String("json", "", "write the bench suite as JSON to this file (e.g. BENCH_small.json); implies -exp bench unless -exp is set")
@@ -175,6 +175,12 @@ func main() {
 		ran = true
 		run("Extension: compressed label storage — arena footprint, bloom screen, v3 cold start", func() error {
 			return exp.WriteStorage(os.Stdout, exp.Storage(scale))
+		})
+	}
+	if all || *expName == "cluster" {
+		ran = true
+		run("Extension: replicated cluster — routed reads, WAL shipping, failover drill", func() error {
+			return exp.WriteCluster(os.Stdout, exp.Cluster(scale))
 		})
 	}
 	if all || *expName == "ordering" {

@@ -27,6 +27,19 @@
 // killed daemon restarts into exactly the state it crashed with (the
 // bootstrap flags -graph/-vertices only matter for an empty store). On
 // SIGINT/SIGTERM the daemon drains, snapshots, and exits cleanly.
+//
+// The daemon also participates in a replicated cluster (fronted by
+// cmd/cscrouter). With -replicate-to URL every committed batch's WAL
+// record is shipped to a follower after the local fsync, and Close
+// drains the in-flight shipment before releasing the store. With
+// -follower the daemon is that follower: it accepts shipped records on
+// POST /repl/append (appending to its own WAL before applying), serves
+// reads flagged "stale":true, reports its replay position on
+// GET /repl/status, and on POST /repl/promote replays to tip and swaps
+// to the full serving surface:
+//
+//	cscd -addr :8440 -data /tmp/f0 -graph net.txt -follower
+//	cscd -addr :8337 -data /tmp/w0 -graph net.txt -replicate-to http://127.0.0.1:8440
 package main
 
 import (
@@ -71,6 +84,8 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		accessLog = flag.String("access-log", "", "append one JSON line per HTTP request to this file (\"-\" = stdout)")
 		slowQuery = flag.Duration("slow-query", 0, "log /cycle reads at or above this duration as slow, with the queried vertex (0 = off)")
+		replTo    = flag.String("replicate-to", "", "ship every committed batch's WAL record to the follower daemon at this base URL (e.g. http://127.0.0.1:8440)")
+		follower  = flag.Bool("follower", false, "run as a replication follower: accept shipped WAL records on POST /repl/append, serve flagged stale reads, promote on POST /repl/promote (requires -data)")
 	)
 	flag.Parse()
 
@@ -171,6 +186,20 @@ func main() {
 		}
 		opts = append(opts, cyclehub.WithAccessLog(out))
 	}
+	if *replTo != "" {
+		opts = append(opts, cyclehub.WithReplicateTo(*replTo))
+	}
+
+	if *follower {
+		if *data == "" {
+			log.Fatal("cscd: -follower requires -data (the follower's own store directory)")
+		}
+		if *replTo != "" {
+			log.Fatal("cscd: -follower and -replicate-to are mutually exclusive (chained replication is not supported)")
+		}
+		runFollower(*addr, *data, bootstrap, opts)
+		return
+	}
 
 	var eng *cyclehub.Engine
 	if *data != "" {
@@ -208,6 +237,37 @@ func main() {
 	}
 	if err := eng.Close(); err != nil {
 		log.Printf("cscd: close: %v", err)
+	}
+	log.Print("bye")
+}
+
+// runFollower serves the replication-follower surface: shipped WAL
+// records land on POST /repl/append, reads are flagged stale, and POST
+// /repl/promote (typically from a cscrouter that lost the primary)
+// replays to tip and swaps the full engine handler in.
+func runFollower(addr, dir string, bootstrap func() (*cyclehub.Index, error), opts []cyclehub.EngineOption) {
+	f, err := cyclehub.OpenFollower(dir, bootstrap, opts...)
+	if err != nil {
+		log.Fatalf("cscd: open follower: %v", err)
+	}
+	log.Printf("follower serving on %s (replayed through seq %d)", addr, f.Seq())
+
+	srv := &http.Server{Addr: addr, Handler: f.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("follower shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("cscd: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Printf("cscd: follower close: %v", err)
 	}
 	log.Print("bye")
 }

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/bfscount"
 	"repro/internal/csc"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/monitor"
@@ -406,6 +407,7 @@ type RankedVertex struct {
 // its exact pre-crash labels.
 type Engine struct {
 	e     *engine.Engine
+	ship  *dist.Shipper
 	watch *monitor.TopK
 	k     int
 
@@ -421,10 +423,11 @@ type Engine struct {
 type EngineOption func(*engineConfig)
 
 type engineConfig struct {
-	opts     engine.Options
-	dir      string
-	topK     int
-	httpOpts serve.Options
+	opts        engine.Options
+	dir         string
+	topK        int
+	httpOpts    serve.Options
+	replicateTo string
 }
 
 // WithWAL enables durability: every applied batch is fsynced to a
@@ -572,6 +575,19 @@ func WithUpdateWorkers(n int) EngineOption {
 	return func(c *engineConfig) { c.opts.UpdateWorkers = n }
 }
 
+// WithReplicateTo ships every committed batch's WAL record to the
+// follower daemon at baseURL (a cscd started with -follower, or any
+// server accepting POST /repl/append in the WAL wire format). Shipping
+// runs on the write path after local WAL durability: the happy path is
+// synchronous — a batch is on the follower before Flush acknowledges it
+// — and degrades to buffered background catch-up while the follower is
+// unreachable, with the backlog exposed as the cscd_repl_lag_batches
+// gauge. Engine.Close is a shipping barrier: it delivers (or reports)
+// the in-flight backlog before the store closes.
+func WithReplicateTo(baseURL string) EngineOption {
+	return func(c *engineConfig) { c.replicateTo = baseURL }
+}
+
 // NewEngine wraps an index in a serving engine and starts its writer.
 // The engine owns the index from here on: mutate only through the
 // engine's methods. With WithWAL, a non-empty store directory wins over
@@ -594,6 +610,11 @@ func buildEngine(bootstrap func() (*Index, error), options []EngineOption) (*Eng
 	for _, o := range options {
 		o(&cfg)
 	}
+	var shipper *dist.Shipper
+	if cfg.replicateTo != "" {
+		shipper = dist.NewShipper(cfg.replicateTo, dist.ShipperOptions{Metrics: cfg.opts.Metrics})
+		cfg.opts.Replication = shipper
+	}
 	var core *engine.Engine
 	if cfg.dir != "" {
 		var err error
@@ -614,12 +635,87 @@ func buildEngine(bootstrap func() (*Index, error), options []EngineOption) (*Eng
 		}
 		core = engine.New(ix.x, cfg.opts)
 	}
-	e := &Engine{e: core, k: cfg.topK, httpOpts: cfg.httpOpts}
+	e := &Engine{e: core, ship: shipper, k: cfg.topK, httpOpts: cfg.httpOpts}
 	if cfg.topK > 0 {
 		e.watch = core.WatchTopK(cfg.topK)
 	}
 	return e, nil
 }
+
+// ReplicationLag reports how many committed batches the follower has not
+// yet acknowledged (always 0 without WithReplicateTo).
+func (e *Engine) ReplicationLag() uint64 {
+	if e.ship == nil {
+		return 0
+	}
+	return e.ship.Lag()
+}
+
+// Follower is the receiving end of WAL shipping: a store directory of
+// its own that replays every shipped batch (WAL-append before apply, so
+// its durable state is always a replayable prefix), snapshots
+// periodically, and serves flagged stale reads meanwhile. Promote — or a
+// router's POST /repl/promote — replays it to tip through the standard
+// engine recovery path and swaps the full serving surface in.
+type Follower struct {
+	f  *dist.Follower
+	fs *dist.FollowerServer
+	// promoteOpts configures the engine a promotion opens.
+	promoteOpts engine.Options
+}
+
+// OpenFollower opens (or recovers) a replication follower over dir.
+// bootstrap must build the same initial index as the primary's bootstrap
+// — shipped WAL records are deltas against it. The EngineOptions
+// configure the follower's snapshot cadence and metrics now, and the
+// promoted engine later.
+func OpenFollower(dir string, bootstrap func() (*Index, error), options ...EngineOption) (*Follower, error) {
+	var cfg engineConfig
+	for _, o := range options {
+		o(&cfg)
+	}
+	boot := func() (csc.Counter, error) {
+		ix, err := bootstrap()
+		if err != nil {
+			return nil, err
+		}
+		return ix.x, nil
+	}
+	f, err := dist.OpenFollower(dir, boot, dist.FollowerOptions{
+		SnapshotEvery: cfg.opts.SnapshotEvery,
+		Metrics:       cfg.opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{
+		f:           f,
+		fs:          dist.NewFollowerServer(f, cfg.opts, cfg.httpOpts, cfg.opts.Metrics),
+		promoteOpts: cfg.opts,
+	}, nil
+}
+
+// Handler returns the follower's HTTP surface: POST /repl/append,
+// GET /repl/status, POST /repl/promote, stale GET /cycle/{v}, /healthz,
+// /stats, and /metrics. After promotion everything but /repl/* is served
+// by the promoted engine's full handler.
+func (f *Follower) Handler() http.Handler { return f.fs }
+
+// Seq reports the sequence number the follower has replayed through.
+func (f *Follower) Seq() uint64 { return f.f.Seq() }
+
+// Promoted reports whether this follower has been promoted to primary.
+func (f *Follower) Promoted() bool { return f.f.Promoted() }
+
+// Promote replays the follower to its durable tip and returns only when
+// the promoted engine is serving. Idempotent.
+func (f *Follower) Promote() error {
+	_, err := f.f.Promote(f.promoteOpts)
+	return err
+}
+
+// Close shuts the follower (or its promoted engine) down.
+func (f *Follower) Close() error { return f.f.Close() }
 
 // CycleCount answers SCCnt(v) concurrently with updates. Out-of-range
 // vertices report no cycle. Repeat reads of a vertex no batch has

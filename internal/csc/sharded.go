@@ -520,6 +520,14 @@ func (x *Sharded) ShardStats() []ShardStat {
 // (tests and diagnostics).
 func (x *Sharded) ShardOf(v int) int { return int(x.shardOf[v]) }
 
+// ShardMap returns a copy of the full vertex→shard-slot table (-1 for
+// trivial vertices) — the routing-table source for a cluster deployment.
+func (x *Sharded) ShardMap() []int32 {
+	out := make([]int32, len(x.shardOf))
+	copy(out, x.shardOf)
+	return out
+}
+
 // liveShards returns the live shards sorted by smallest member vertex —
 // the stable order serialization and validation walk them in.
 func (x *Sharded) liveShards() []*shard {

@@ -1,0 +1,170 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/bfscount"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// ReplStatusJSON is the GET /repl/status response — the router's lag and
+// liveness probe for followers (it keeps answering after promotion, so
+// one probe URL covers both lives).
+type ReplStatusJSON struct {
+	Seq      uint64 `json:"seq"`
+	Promoted bool   `json:"promoted"`
+	Vertices int    `json:"vertices"`
+}
+
+// ReplAppendJSON is the POST /repl/append response: the sequence number
+// the follower has replayed through and how many records this request
+// newly applied.
+type ReplAppendJSON struct {
+	Seq     uint64 `json:"seq"`
+	Applied int    `json:"applied"`
+}
+
+// FollowerServer is the follower's HTTP surface. Before promotion it
+// serves the replication protocol plus flagged stale reads; POST
+// /repl/promote replays to tip and atomically swaps the whole serving
+// surface to the full engine handler, while /repl/* stays owned here so
+// a zombie primary's appends keep getting 409s.
+type FollowerServer struct {
+	f           *Follower
+	promoteOpts engine.Options
+	serveOpts   serve.Options
+	reg         *obs.Registry
+	promoted    atomic.Pointer[http.Handler]
+	mux         *http.ServeMux
+}
+
+// NewFollowerServer builds the follower's HTTP surface. promoteOpts
+// configures the engine a successful /repl/promote opens — pass the same
+// metrics registry the follower uses so one /metrics scrape spans the
+// promotion. reg may be nil.
+func NewFollowerServer(f *Follower, promoteOpts engine.Options, serveOpts serve.Options, reg *obs.Registry) *FollowerServer {
+	fs := &FollowerServer{f: f, promoteOpts: promoteOpts, serveOpts: serveOpts, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /repl/append", fs.replAppend)
+	mux.HandleFunc("GET /repl/status", fs.replStatus)
+	mux.HandleFunc("POST /repl/promote", fs.replPromote)
+	mux.HandleFunc("GET /cycle/{v}", fs.cycle)
+	mux.HandleFunc("GET /healthz", fs.healthz)
+	mux.HandleFunc("GET /stats", fs.stats)
+	mux.HandleFunc("GET /metrics", fs.metrics)
+	fs.mux = mux
+	return fs
+}
+
+// ServeHTTP routes /repl/* here always; everything else goes to the
+// promoted engine handler once promotion lands.
+func (fs *FollowerServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := fs.promoted.Load(); h != nil && !strings.HasPrefix(r.URL.Path, "/repl/") {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	fs.mux.ServeHTTP(w, r)
+}
+
+func (fs *FollowerServer) replAppend(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadBody, 0, "bad replication body: %v", err)
+		return
+	}
+	seq, applied, err := fs.f.ApplyStream(body)
+	switch {
+	case errors.Is(err, ErrPromoted):
+		serve.WriteError(w, http.StatusConflict, serve.CodePromoted, 0, "%v", err)
+	case err != nil:
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadBody, 0, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, ReplAppendJSON{Seq: seq, Applied: applied})
+	}
+}
+
+func (fs *FollowerServer) replStatus(w http.ResponseWriter, r *http.Request) {
+	st := ReplStatusJSON{Seq: fs.f.Seq(), Promoted: fs.f.Promoted(), Vertices: fs.f.NumVertices()}
+	if eng := fs.f.Engine(); eng != nil {
+		st.Seq = eng.Seq()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (fs *FollowerServer) replPromote(w http.ResponseWriter, r *http.Request) {
+	eng, err := fs.f.Promote(fs.promoteOpts)
+	switch {
+	case errors.Is(err, ErrPromoting):
+		serve.WriteError(w, http.StatusServiceUnavailable, serve.CodePromoted, 1, "%v", err)
+		return
+	case err != nil:
+		serve.WriteError(w, http.StatusInternalServerError, serve.CodePromoted, 0, "promotion failed: %v", err)
+		return
+	}
+	// First successful promote swaps the serving surface; repeats are
+	// idempotent acks.
+	if fs.promoted.Load() == nil {
+		h := serve.NewHandler(eng, nil, 0, fs.serveOpts)
+		fs.promoted.Store(&h)
+	}
+	writeJSON(w, http.StatusOK, ReplStatusJSON{Seq: eng.Seq(), Promoted: true, Vertices: fs.f.NumVertices()})
+}
+
+// cycle serves flagged stale reads from the replayed state — the
+// follower's answer is correct as of its last shipped batch, which can
+// trail the primary's tip, so every body carries "stale":true.
+func (fs *FollowerServer) cycle(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadVertex, 0, "vertex %q is not an integer", r.PathValue("v"))
+		return
+	}
+	if v < 0 || v >= fs.f.NumVertices() {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadVertex, 0, "vertex %d out of range [0,%d)", v, fs.f.NumVertices())
+		return
+	}
+	l, c := fs.f.CycleCount(v)
+	out := serve.CycleJSON{Vertex: v, Stale: true}
+	if l != bfscount.NoCycle {
+		out.Exists = true
+		out.Length = l
+		out.Count = c
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (fs *FollowerServer) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "follower", "seq": fs.f.Seq(), "promoted": fs.f.Promoted(),
+	})
+}
+
+func (fs *FollowerServer) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"follower": true, "seq": fs.f.Seq(), "vertices": fs.f.NumVertices(),
+		"promoted": fs.f.Promoted(),
+	})
+}
+
+func (fs *FollowerServer) metrics(w http.ResponseWriter, r *http.Request) {
+	if fs.reg == nil {
+		serve.WriteError(w, http.StatusNotFound, serve.CodeNotFound, 0, "metrics disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = fs.reg.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,67 @@
+// Package dist is the clustering layer over the serving engine: shard
+// placement, the vertex→shard→worker routing table, WAL shipping from a
+// primary to its follower, follower replay/promotion, and the
+// failover-aware router that fronts a multi-process cscd deployment.
+//
+// The SCC-sharded index makes components fully independent, so the unit
+// of distribution is the shard slot. A coordinator computes a
+// size-balanced placement of slots onto worker groups (Plan), the router
+// fans GET /cycle/{v} to the group owning v's slot (trivial vertices —
+// no slot, zero cycles — answer locally), and every worker group is a
+// primary plus an optional follower kept current by synchronous WAL
+// shipping (Shipper → Follower). When a primary stops answering health
+// probes the router promotes the follower — replay-to-tip through the
+// engine's existing recovery path — and repoints the group, so failover
+// is a replay-and-repoint, never a rebuild.
+//
+// Writes are broadcast: every worker group holds the full index and
+// applies every edge batch, so an edge whose endpoints' components merge
+// across groups stays correct everywhere, and placement only governs
+// which group answers reads for which vertices. Broadcast retries are
+// safe because the engine coalesces redundant ops (inserting a present
+// edge is a no-op). True write partitioning with cross-group two-phase
+// commit remains future work (ROADMAP).
+package dist
+
+import (
+	"sort"
+
+	"repro/internal/csc"
+)
+
+// Plan assigns shard slots to nGroups worker groups, balancing the
+// per-shard label-byte footprint with the LPT greedy rule: heaviest
+// shard first, each onto the currently lightest group. Deterministic —
+// ties break toward the lower slot id and the lower group id — so every
+// node that sees the same ShardStats computes the same placement.
+func Plan(stats []csc.ShardStat, nGroups int) [][]int {
+	if nGroups < 1 {
+		nGroups = 1
+	}
+	ordered := make([]csc.ShardStat, len(stats))
+	copy(ordered, stats)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].LabelBytes != ordered[j].LabelBytes {
+			return ordered[i].LabelBytes > ordered[j].LabelBytes
+		}
+		return ordered[i].Slot < ordered[j].Slot
+	})
+	groups := make([][]int, nGroups)
+	load := make([]int64, nGroups)
+	for _, st := range ordered {
+		best := 0
+		for g := 1; g < nGroups; g++ {
+			if load[g] < load[best] {
+				best = g
+			}
+		}
+		groups[best] = append(groups[best], st.Slot)
+		// The +1 spreads zero-byte shards round-robin instead of piling
+		// them all onto one group.
+		load[best] += int64(st.LabelBytes) + 1
+	}
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	return groups
+}

@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/csc"
+)
+
+func stats(labelBytes ...int) []csc.ShardStat {
+	out := make([]csc.ShardStat, len(labelBytes))
+	for i, b := range labelBytes {
+		out[i] = csc.ShardStat{Slot: i, LabelBytes: b}
+	}
+	return out
+}
+
+// Every slot lands in exactly one group, and the LPT greedy keeps the
+// heaviest group within a sane bound of the mean.
+func TestPlanCoversAndBalances(t *testing.T) {
+	st := stats(1000, 900, 10, 10, 10, 800, 50, 40)
+	plan := Plan(st, 3)
+	if len(plan) != 3 {
+		t.Fatalf("got %d groups, want 3", len(plan))
+	}
+	seen := map[int]int{}
+	loads := make([]int, 3)
+	for g, slots := range plan {
+		for _, s := range slots {
+			seen[s]++
+			loads[g] += st[s].LabelBytes
+		}
+	}
+	if len(seen) != len(st) {
+		t.Fatalf("placed %d slots, want %d", len(seen), len(st))
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("slot %d placed %d times", s, n)
+		}
+	}
+	// The three heavy shards (1000, 900, 800) dominate: LPT must put them
+	// in three different groups.
+	var total, max int
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if max >= 1000+800 {
+		t.Fatalf("two heavy shards share a group: loads %v", loads)
+	}
+	if got := Plan(st, 3); !reflect.DeepEqual(got, plan) {
+		t.Fatal("placement is not deterministic")
+	}
+}
+
+func TestPlanDegenerateInputs(t *testing.T) {
+	if got := Plan(nil, 3); len(got) != 3 {
+		t.Fatalf("empty stats: got %d groups", len(got))
+	}
+	// More groups than shards: extra groups stay empty, shards spread.
+	plan := Plan(stats(5, 5), 4)
+	nonEmpty := 0
+	for _, slots := range plan {
+		if len(slots) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("2 shards over 4 groups: %d non-empty groups, want 2", nonEmpty)
+	}
+	// Zero-byte shards still spread rather than all landing on group 0.
+	plan = Plan(stats(0, 0, 0, 0), 2)
+	if len(plan[0]) != 2 || len(plan[1]) != 2 {
+		t.Fatalf("zero-byte shards did not spread: %v", plan)
+	}
+}
+
+func TestBuildTableAndGroupFor(t *testing.T) {
+	// Vertices: 0,1 → slot 0; 2 → slot 1; 3 trivial; 4 → slot 2 (no
+	// stats row → unowned).
+	shardOf := []int32{0, 0, 1, -1, 2}
+	tbl := BuildTable(shardOf, stats(100, 50), 2)
+	if tbl.Vertices != 5 || tbl.Groups != 2 {
+		t.Fatalf("table header %d/%d", tbl.Vertices, tbl.Groups)
+	}
+	if g, trivial := tbl.GroupFor(3); !trivial || g != -1 {
+		t.Fatalf("trivial vertex: got (%d,%v)", g, trivial)
+	}
+	if g, trivial := tbl.GroupFor(4); trivial || g != -1 {
+		t.Fatalf("unowned slot: got (%d,%v)", g, trivial)
+	}
+	if g, _ := tbl.GroupFor(-1); g != -1 {
+		t.Fatal("negative vertex routed")
+	}
+	if g, _ := tbl.GroupFor(5); g != -1 {
+		t.Fatal("out-of-range vertex routed")
+	}
+	g0, _ := tbl.GroupFor(0)
+	g1, _ := tbl.GroupFor(1)
+	g2, _ := tbl.GroupFor(2)
+	if g0 != g1 {
+		t.Fatal("same shard routed to different groups")
+	}
+	if g0 == g2 {
+		t.Fatal("the two shards should spread over the two groups")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package dist
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, which serializes goroutines and distorts wall-clock bounds.
+const raceEnabled = true

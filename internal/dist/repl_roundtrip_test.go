@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/csc"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// emptySharded bootstraps a deterministic empty sharded index — the
+// same function the primary and its follower must share.
+func emptySharded(n int) func() (csc.Counter, error) {
+	return func() (csc.Counter, error) {
+		x, _ := csc.BuildSharded(graph.New(n), csc.Options{})
+		return x, nil
+	}
+}
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !pred() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getCycle(t *testing.T, base string, v int) (int, serve.CycleJSON) {
+	t.Helper()
+	resp, err := http.Get(base + "/cycle/" + strconv.Itoa(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.CycleJSON
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// The full replication pipeline: a primary engine ships every committed
+// batch to a follower over HTTP, the follower replays and serves flagged
+// stale reads, promotion replays to tip and swaps the full engine
+// surface in, and a zombie primary's appends get 409 afterwards.
+func TestShipperFollowerRoundtripAndPromotion(t *testing.T) {
+	boot := emptySharded(8)
+	f, err := OpenFollower(t.TempDir(), boot, FollowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFollowerServer(f, engine.Options{FlushInterval: -1}, serve.Options{}, nil)
+	fsrv := httptest.NewServer(fs)
+	defer fsrv.Close()
+
+	ship := NewShipper(fsrv.URL, ShipperOptions{})
+	prim, err := engine.Open(t.TempDir(), boot, engine.Options{FlushInterval: -1, Replication: ship})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if err := prim.Insert(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+		prim.Flush()
+	}
+	waitFor(t, "follower to catch up", func() bool { return f.Seq() == prim.Seq() })
+
+	// Stale reads answer from the replayed state, flagged.
+	status, out := getCycle(t, fsrv.URL, 0)
+	if status != http.StatusOK || !out.Stale || !out.Exists || out.Length != 3 {
+		t.Fatalf("follower stale read: status %d, %+v", status, out)
+	}
+	if ship.Lag() != 0 {
+		t.Fatalf("lag %d after synchronous catch-up, want 0", ship.Lag())
+	}
+
+	// Promote: replay-to-tip, then the full engine handler serves.
+	resp, err := http.Post(fsrv.URL+"/repl/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", resp.StatusCode)
+	}
+	status, out = getCycle(t, fsrv.URL, 0)
+	if status != http.StatusOK || out.Stale || !out.Exists || out.Length != 3 {
+		t.Fatalf("promoted read: status %d, %+v", status, out)
+	}
+	// Promotion is idempotent.
+	resp, _ = http.Post(fsrv.URL+"/repl/promote", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat promote: status %d", resp.StatusCode)
+	}
+
+	// The zombie primary's stream is severed: new batches buffer locally,
+	// never ack, and the shutdown barrier reports them.
+	if err := prim.Insert(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	prim.Flush()
+	waitFor(t, "shipper to observe the severed stream", func() bool { return ship.Lag() > 0 })
+	if err := prim.Close(); err == nil || !strings.Contains(err.Error(), "undelivered") {
+		t.Fatalf("zombie primary close: err %v, want undelivered-batches barrier error", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A dead follower never stalls the writer: batches buffer, the lag gauge
+// grows, and the background retry loop drains the backlog as soon as the
+// follower answers again — including idempotent re-delivery of records
+// the follower already holds.
+func TestShipperBuffersWhileFollowerDown(t *testing.T) {
+	boot := emptySharded(8)
+	f, err := OpenFollower(t.TempDir(), boot, FollowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs := NewFollowerServer(f, engine.Options{}, serve.Options{}, nil)
+	var down atomic.Bool
+	down.Store(true)
+	fsrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		fs.ServeHTTP(w, r)
+	}))
+	defer fsrv.Close()
+
+	ship := NewShipper(fsrv.URL, ShipperOptions{RetryInterval: 10 * time.Millisecond})
+	prim, err := engine.Open(t.TempDir(), boot, engine.Options{FlushInterval: -1, Replication: ship})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range [][2]int{{0, 1}, {1, 0}, {2, 3}} {
+		if err := prim.Insert(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+		prim.Flush()
+	}
+	if ship.Lag() == 0 {
+		t.Fatal("lag should be non-zero while the follower is down")
+	}
+	if f.Seq() != 0 {
+		t.Fatalf("follower applied %d batches while down", f.Seq())
+	}
+
+	down.Store(false)
+	waitFor(t, "backlog to drain", func() bool { return ship.Lag() == 0 && f.Seq() == prim.Seq() })
+	if l, c := f.CycleCount(0); l != 2 || c != 1 {
+		t.Fatalf("follower state after catch-up: (%d,%d), want (2,1)", l, c)
+	}
+	if err := prim.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A restarted follower recovers its replayed state from its own store:
+// replication survives follower crashes without re-shipping history the
+// follower already persisted.
+func TestFollowerRecoversOwnStore(t *testing.T) {
+	boot := emptySharded(6)
+	dir := t.TempDir()
+	f, err := OpenFollower(dir, boot, FollowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := engine.EncodeWALRecord(nil, 1, []engine.Op{{Kind: engine.OpInsert, A: 0, B: 1}, {Kind: engine.OpInsert, A: 1, B: 0}})
+	if _, _, err := f.ApplyStream(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := OpenFollower(dir, boot, FollowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.Seq() != 1 {
+		t.Fatalf("recovered seq %d, want 1", f2.Seq())
+	}
+	if l, _ := f2.CycleCount(0); l != 2 {
+		t.Fatalf("recovered follower lost the 2-cycle: length %d", l)
+	}
+	// Re-delivery of an already-persisted record is skipped, not
+	// double-applied.
+	if _, applied, err := f2.ApplyStream(rec); err != nil || applied != 0 {
+		t.Fatalf("re-delivery: applied %d (err %v), want 0", applied, err)
+	}
+}

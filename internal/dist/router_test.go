@@ -1,0 +1,215 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeWorker is a scripted cscd stand-in: it answers /cycle/{v} with its
+// own name, /stats with a fixed seq, and records request paths.
+type fakeWorker struct {
+	name     string
+	seq      uint64
+	srv      *httptest.Server
+	hits     atomic.Int64
+	edgeHits atomic.Int64
+	fail     atomic.Bool // 500 every request when set
+}
+
+func newFakeWorker(name string, seq uint64) *fakeWorker {
+	w := &fakeWorker{name: name, seq: seq}
+	w.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if w.fail.Load() {
+			http.Error(rw, "boom", http.StatusInternalServerError)
+			return
+		}
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/cycle/"):
+			w.hits.Add(1)
+			rw.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(rw, `{"vertex":%s,"worker":%q}`, strings.TrimPrefix(r.URL.Path, "/cycle/"), w.name)
+		case r.URL.Path == "/edges":
+			w.edgeHits.Add(1)
+			io.Copy(io.Discard, r.Body)
+			fmt.Fprintf(rw, `{"enqueued":1,"worker":%q}`, w.name)
+		case r.URL.Path == "/stats" || r.URL.Path == "/repl/status":
+			fmt.Fprintf(rw, `{"seq":%d}`, w.seq)
+		default:
+			http.NotFound(rw, r)
+		}
+	}))
+	return w
+}
+
+func (w *fakeWorker) Close() { w.srv.Close() }
+
+// testTable: vertices 0,1 → slot 0 → group 0; vertex 2 → slot 1 →
+// group 1; vertex 3 trivial.
+func testTable(groups int) *Table {
+	return BuildTable([]int32{0, 0, 1, -1}, stats(100, 50), groups)
+}
+
+func routerGet(t *testing.T, r *Router, path string) (int, map[string]any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	var body map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &body)
+	return rec.Code, body
+}
+
+// Reads route to the group owning the vertex's shard, trivial vertices
+// answer locally with zero proxy hops, out-of-range is a 400, and writes
+// broadcast to every group.
+func TestRouterRoutesAndBroadcasts(t *testing.T) {
+	w0 := newFakeWorker("w0", 5)
+	defer w0.Close()
+	w1 := newFakeWorker("w1", 5)
+	defer w1.Close()
+
+	tbl := testTable(2)
+	r, err := NewRouter(tbl, []GroupConfig{{Primary: w0.srv.URL}, {Primary: w1.srv.URL}}, RouterOptions{
+		ProbeInterval: time.Hour, // probes irrelevant here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Vertices 0 and 2 live in different groups: each read must land on
+	// its owner, whichever group that is.
+	_, b0 := routerGet(t, r, "/cycle/0")
+	_, b2 := routerGet(t, r, "/cycle/2")
+	if b0["worker"] == nil || b2["worker"] == nil || b0["worker"] == b2["worker"] {
+		t.Fatalf("reads not partitioned: %v vs %v", b0["worker"], b2["worker"])
+	}
+
+	status, body := routerGet(t, r, "/cycle/3")
+	if status != http.StatusOK || body["exists"] == true {
+		t.Fatalf("trivial vertex: status %d body %v", status, body)
+	}
+	if got := w0.hits.Load() + w1.hits.Load(); got != 2 {
+		t.Fatalf("trivial vertex hit a worker: %d proxied reads, want 2", got)
+	}
+
+	status, body = routerGet(t, r, "/cycle/99")
+	if status != http.StatusBadRequest || body["code"] != "bad_vertex" {
+		t.Fatalf("out-of-range: status %d body %v", status, body)
+	}
+	status, body = routerGet(t, r, "/cycle/zzz")
+	if status != http.StatusBadRequest || body["code"] != "bad_vertex" {
+		t.Fatalf("non-integer: status %d body %v", status, body)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/edges", strings.NewReader(`{"edges":[[0,1]]}`))
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("broadcast write: status %d body %s", rec.Code, rec.Body)
+	}
+	if w0.edgeHits.Load() != 1 || w1.edgeHits.Load() != 1 {
+		t.Fatalf("write not broadcast: w0=%d w1=%d", w0.edgeHits.Load(), w1.edgeHits.Load())
+	}
+}
+
+// A failing primary falls through to the follower within the same
+// request (bounded retries, then next endpoint); with every replica
+// down the router answers 503 with the machine-readable no_replica code.
+func TestRouterRetryFallbackAndNoReplica(t *testing.T) {
+	prim := newFakeWorker("prim", 9)
+	defer prim.Close()
+	fol := newFakeWorker("fol", 9)
+	defer fol.Close()
+	prim.fail.Store(true)
+
+	r, err := NewRouter(testTable(1), []GroupConfig{{Primary: prim.srv.URL, Follower: fol.srv.URL}}, RouterOptions{
+		ProbeInterval:  time.Hour,
+		RequestTimeout: time.Second,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	status, body := routerGet(t, r, "/cycle/0")
+	if status != http.StatusOK || body["worker"] != "fol" {
+		t.Fatalf("fallback read: status %d body %v", status, body)
+	}
+
+	fol.fail.Store(true)
+	status, body = routerGet(t, r, "/cycle/0")
+	if status != http.StatusServiceUnavailable || body["code"] != "no_replica" {
+		t.Fatalf("all replicas down: status %d body %v", status, body)
+	}
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/edges", strings.NewReader(`{"edges":[[0,1]]}`)))
+	var ebody map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &ebody)
+	if rec.Code != http.StatusServiceUnavailable || ebody["code"] != "no_replica" {
+		t.Fatalf("broadcast with group down: status %d body %v", rec.Code, ebody)
+	}
+}
+
+// Probe-driven failover: when the primary stops answering probes and the
+// follower is alive, the router promotes the follower, repoints the
+// group, counts the failover, and keeps answering reads.
+func TestRouterFailsOverToFollower(t *testing.T) {
+	prim := newFakeWorker("prim", 3)
+	fol := newFakeWorker("fol", 3)
+	defer fol.Close()
+
+	var promotes atomic.Int64
+	folFront := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/repl/promote" {
+			promotes.Add(1)
+			fmt.Fprint(rw, `{"seq":3,"promoted":true}`)
+			return
+		}
+		fol.srv.Config.Handler.ServeHTTP(rw, r)
+	}))
+	defer folFront.Close()
+
+	r, err := NewRouter(testTable(1), []GroupConfig{{Primary: prim.srv.URL, Follower: folFront.URL}}, RouterOptions{
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  200 * time.Millisecond,
+		ProbeMisses:   2,
+		RetryBackoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	waitFor(t, "probes to see both endpoints up", func() bool {
+		_, body := routerGet(t, r, "/healthz")
+		return body["status"] == "ok"
+	})
+
+	prim.Close() // the primary dies
+	waitFor(t, "failover", func() bool { return r.Failovers() == 1 })
+	if promotes.Load() == 0 {
+		t.Fatal("failover without a promote call")
+	}
+
+	status, body := routerGet(t, r, "/cycle/0")
+	if status != http.StatusOK || body["worker"] != "fol" {
+		t.Fatalf("post-failover read: status %d body %v", status, body)
+	}
+	// No auto-failback, and no second failover.
+	time.Sleep(30 * time.Millisecond)
+	if r.Failovers() != 1 {
+		t.Fatalf("failovers %d, want exactly 1", r.Failovers())
+	}
+	status, body = routerGet(t, r, "/healthz?ready=1")
+	if status != http.StatusOK {
+		t.Fatalf("cluster should be ready on the promoted follower: %d %v", status, body)
+	}
+}

@@ -1,0 +1,244 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// ShipperOptions configures NewShipper. The zero value gives serving
+// defaults.
+type ShipperOptions struct {
+	// Client performs the /repl/append POSTs (default: a dedicated
+	// client; per-attempt deadlines come from AttemptTimeout).
+	Client *http.Client
+	// AttemptTimeout bounds one delivery attempt (default 2s). The
+	// engine's writer waits at most this long per batch while the
+	// follower is reachable; an unreachable follower costs one timeout,
+	// after which shipping goes async until the follower answers again.
+	AttemptTimeout time.Duration
+	// RetryInterval is the background catch-up cadence while batches are
+	// buffered undelivered (default 100ms). The synchronous path also
+	// skips its attempt when the last failure is fresher than this, so a
+	// dead follower never stalls the writer by a timeout per batch.
+	RetryInterval time.Duration
+	// CloseTimeout bounds the shutdown barrier's final delivery attempt
+	// (default 5s).
+	CloseTimeout time.Duration
+	// Metrics registers the cscd_repl_* shipping families (nil: none).
+	Metrics *obs.Registry
+}
+
+func (o *ShipperOptions) fill() {
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 2 * time.Second
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 100 * time.Millisecond
+	}
+	if o.CloseTimeout <= 0 {
+		o.CloseTimeout = 5 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+}
+
+// Shipper implements engine.ReplSink over HTTP: every batch the engine
+// commits is encoded in the exact WAL record wire format
+// (engine.EncodeWALRecord) and POSTed to the follower's /repl/append.
+// Delivery is synchronous on the happy path — the batch is on the
+// follower before the engine acknowledges a Flush — and degrades to
+// buffered background catch-up while the follower is unreachable, with
+// the backlog surfaced as the replication lag gauge. Close is the
+// engine's shutdown barrier: it makes a final bounded delivery attempt
+// and reports any batches it must abandon.
+type Shipper struct {
+	url  string
+	opts ShipperOptions
+
+	mu      sync.Mutex
+	pending []byte // encoded records not yet acked by the follower
+	backlog int    // batches in pending
+
+	// flightMu serializes delivery attempts (writer-synchronous vs
+	// background retry) so records never ship out of order.
+	flightMu sync.Mutex
+
+	shipped, acked *obs.Counter
+	errors         *obs.Counter
+	lastSeq        atomic.Uint64 // highest seq handed to ShipBatch
+	ackSeq         atomic.Uint64 // highest seq the follower acknowledged
+	lastFailNS     atomic.Int64  // unix nanos of the last failed attempt
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	done      chan struct{}
+}
+
+// NewShipper starts a shipper streaming to the follower at baseURL
+// (e.g. "http://127.0.0.1:8440"). Pass it as engine.Options.Replication.
+func NewShipper(baseURL string, opts ShipperOptions) *Shipper {
+	opts.fill()
+	s := &Shipper{
+		url:     baseURL,
+		opts:    opts,
+		shipped: &obs.Counter{},
+		acked:   &obs.Counter{},
+		errors:  &obs.Counter{},
+		closed:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.CounterFunc("cscd_repl_batches_shipped_total", "batches handed to the WAL shipper", s.shipped.Load)
+		reg.CounterFunc("cscd_repl_batches_acked_total", "shipped batches the follower acknowledged", s.acked.Load)
+		reg.CounterFunc("cscd_repl_ship_errors_total", "failed replication delivery attempts", s.errors.Load)
+		reg.GaugeFunc("cscd_repl_lag_batches", "batches committed locally but not yet acknowledged by the follower", func() float64 {
+			return float64(s.Lag())
+		})
+		reg.GaugeFunc("cscd_repl_last_seq", "sequence number of the last batch handed to the shipper", func() float64 {
+			return float64(s.lastSeq.Load())
+		})
+		reg.GaugeFunc("cscd_repl_acked_seq", "sequence number the follower has acknowledged through", func() float64 {
+			return float64(s.ackSeq.Load())
+		})
+	}
+	go s.retryLoop()
+	return s
+}
+
+// Lag reports the batches committed locally but not yet acknowledged by
+// the follower — zero while replication is current.
+func (s *Shipper) Lag() uint64 { return s.shipped.Load() - s.acked.Load() }
+
+// AckedSeq reports the sequence number the follower acknowledged
+// through.
+func (s *Shipper) AckedSeq() uint64 { return s.ackSeq.Load() }
+
+// ShipBatch implements engine.ReplSink. It runs on the engine's writer
+// goroutine: the record is buffered, then delivered synchronously unless
+// the follower failed an attempt within RetryInterval — in that case the
+// background loop owns catch-up and the writer moves on immediately.
+func (s *Shipper) ShipBatch(seq uint64, ops []engine.Op) {
+	rec := engine.EncodeWALRecord(nil, seq, ops)
+	s.mu.Lock()
+	s.pending = append(s.pending, rec...)
+	s.backlog++
+	s.mu.Unlock()
+	s.lastSeq.Store(seq)
+	s.shipped.Add(1)
+	if time.Now().UnixNano()-s.lastFailNS.Load() < s.opts.RetryInterval.Nanoseconds() {
+		return // follower known-bad moments ago: don't stall the writer
+	}
+	s.flush(s.opts.AttemptTimeout)
+}
+
+// retryLoop is the background catch-up: while batches are buffered it
+// retries delivery every RetryInterval.
+func (s *Shipper) retryLoop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.opts.RetryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			n := s.backlog
+			s.mu.Unlock()
+			if n > 0 {
+				s.flush(s.opts.AttemptTimeout)
+			}
+		}
+	}
+}
+
+// flush makes one delivery attempt of the whole pending buffer. Returns
+// true when the buffer drained (or was already empty).
+func (s *Shipper) flush(timeout time.Duration) bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		return true
+	}
+	buf := make([]byte, len(s.pending))
+	copy(buf, s.pending)
+	batches := s.backlog
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/repl/append", bytes.NewReader(buf))
+	if err != nil {
+		s.fail()
+		return false
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		s.fail()
+		return false
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		// 409 means the follower was promoted and severed the stream — a
+		// zombie primary must not keep acknowledging writes as replicated.
+		// The backlog stays buffered (it is locally durable) and the lag
+		// gauge keeps growing, which is the operator's signal.
+		s.fail()
+		return false
+	}
+	var ack struct {
+		Seq uint64 `json:"seq"`
+	}
+	_ = json.Unmarshal(body, &ack)
+
+	// Only ShipBatch appends to pending, so the delivered bytes are still
+	// its prefix: drop exactly them.
+	s.mu.Lock()
+	s.pending = append(s.pending[:0], s.pending[len(buf):]...)
+	s.backlog -= batches
+	s.mu.Unlock()
+	s.acked.Add(uint64(batches))
+	if ack.Seq > s.ackSeq.Load() {
+		s.ackSeq.Store(ack.Seq)
+	}
+	s.lastFailNS.Store(0)
+	return true
+}
+
+func (s *Shipper) fail() {
+	s.errors.Add(1)
+	s.lastFailNS.Store(time.Now().UnixNano())
+}
+
+// Close implements the engine's shutdown barrier: it stops the retry
+// loop, makes a final delivery attempt bounded by CloseTimeout, and
+// reports the batches it had to abandon (the follower keeps exactly the
+// acknowledged prefix; a restarted primary re-ships from its WAL replay
+// is NOT automatic — the abandoned suffix is only on the primary's
+// disk).
+func (s *Shipper) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	<-s.done
+	if s.flush(s.opts.CloseTimeout) {
+		return nil
+	}
+	s.mu.Lock()
+	n := s.backlog
+	s.mu.Unlock()
+	return fmt.Errorf("dist: shipper closed with %d batches undelivered to %s", n, s.url)
+}

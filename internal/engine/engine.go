@@ -75,6 +75,20 @@ var ErrOverloaded = errors.New("engine: overloaded: update mailbox full")
 // successful Snapshot heals the store and re-enables updates.
 var ErrReadOnly = errors.New("engine: read-only: durability lost, updates disabled until a successful snapshot")
 
+// ReplSink receives every batch the engine commits, in order, on the
+// writer goroutine — the seam a cluster deployment hangs WAL shipping on
+// (internal/dist.Shipper). ShipBatch is called after the batch is locally
+// WAL-durable and must not fail the batch: a sink that cannot reach its
+// follower buffers and retries on its own, surfacing the backlog as
+// replication lag. Close is the shutdown barrier — it runs on the writer
+// goroutine during Engine.Close, after the final flush, and should block
+// until in-flight shipments are delivered (or a bounded timeout passes),
+// so a SIGTERM drain never abandons acknowledged batches mid-stream.
+type ReplSink interface {
+	ShipBatch(seq uint64, ops []Op)
+	Close() error
+}
+
 // AdmissionPolicy selects what an enqueue does when the update mailbox
 // is full.
 type AdmissionPolicy uint8
@@ -202,6 +216,13 @@ type Options struct {
 	// answers everything (never re-rank); higher values mean answers come
 	// from deeper in the order.
 	ReRankDrift float64
+	// Replication, when set, receives every committed batch in order on
+	// the writer goroutine (after the local WAL append succeeds, before
+	// the grace period applies it), and is Closed — the in-flight shipment
+	// barrier — during Engine.Close after the final flush. Batches dropped
+	// in read-only degraded mode are never shipped: the follower tracks
+	// exactly the durable prefix.
+	Replication ReplSink
 }
 
 func (o *Options) fill() {
@@ -858,6 +879,22 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// ShardTable snapshots the sharded index's routing inputs — a copy of
+// the vertex→shard-slot table (-1 for trivial vertices, which answer
+// zero cycles with no labels at all) and the per-shard footprint stats a
+// size-balanced placement weighs. ok is false on a monolithic index,
+// which has no shards to place. Safe concurrently with updates: both
+// reads happen inside one reader epoch.
+func (e *Engine) ShardTable() (shardOf []int32, stats []csc.ShardStat, ok bool) {
+	sx, sharded := e.ix.(*csc.Sharded)
+	if !sharded {
+		return nil, nil, false
+	}
+	m := e.lock.rlock(0)
+	defer m.RUnlock()
+	return sx.ShardMap(), sx.ShardStats(), true
+}
+
 // Close drains and applies the mailbox, syncs and closes the store, and
 // stops the writer. It does not write a final snapshot (recovery replays
 // the WAL); call Snapshot first for a fast next startup. Ops enqueued
@@ -933,6 +970,15 @@ func (e *Engine) run() {
 		case <-e.quit:
 			flushAll()
 			e.awaitRebuilds()
+			// Replication barrier before the store closes: every batch the
+			// flush above committed has been handed to the sink, and Close
+			// blocks until in-flight shipments land (or the sink's own
+			// timeout gives up and reports the backlog).
+			if e.opts.Replication != nil {
+				if err := e.opts.Replication.Close(); err != nil {
+					e.setErr(err)
+				}
+			}
 			if e.store != nil {
 				if err := e.store.Close(); err != nil {
 					e.setErr(err)
@@ -1036,6 +1082,14 @@ func (e *Engine) applyPending() {
 		}
 		e.walBytes.Store(e.store.WALBytes())
 	}
+	// Ship the batch only once it is locally durable: a follower must
+	// never hold a record its primary could lose in a crash-and-replay.
+	var shipNS int64
+	if e.opts.Replication != nil {
+		shipStart := time.Now()
+		e.opts.Replication.ShipBatch(seq, batch)
+		shipNS = time.Since(shipStart).Nanoseconds()
+	}
 	applyStart := time.Now()
 	touched, st, deferred := e.apply(batch, seq)
 	applyNS := time.Since(applyStart).Nanoseconds()
@@ -1050,7 +1104,7 @@ func (e *Engine) applyPending() {
 		h(batch, touched)
 	}
 	hooksNS := time.Since(hooksStart).Nanoseconds()
-	e.recordBatch(seq, start, raw, batch, touched, st, deferred, waitNS, coalesceNS, walNS, applyNS, hooksNS)
+	e.recordBatch(seq, start, raw, batch, touched, st, deferred, waitNS, coalesceNS, walNS, shipNS, applyNS, hooksNS)
 	if e.store != nil && e.opts.SnapshotEvery > 0 {
 		e.sinceSnap++
 		// Periodic snapshots wait out any pending out-of-band rebuild

@@ -25,7 +25,7 @@ import (
 // vec, resolved once at startup so the writer never takes the vec's map
 // lock.
 type stageHists struct {
-	coalesce, wal, plan, apply, rebuild, hooks *obs.Histogram
+	coalesce, wal, ship, plan, apply, rebuild, hooks *obs.Histogram
 }
 
 // rebuildDone carries a finished out-of-band rebuild back to the writer
@@ -145,6 +145,7 @@ func (e *Engine) initObs() {
 	e.stageNS = stageHists{
 		coalesce: stages.With("coalesce"),
 		wal:      stages.With("wal"),
+		ship:     stages.With("ship"),
 		plan:     stages.With("plan"),
 		apply:    stages.With("apply"),
 		rebuild:  stages.With("rebuild"),
@@ -239,12 +240,15 @@ func (e *Engine) Traces() []obs.BatchTrace { return e.trace.Snapshot() }
 // here is nil-safe, so the uninstrumented engine pays only the
 // time.Now() reads in applyPending.
 func (e *Engine) recordBatch(seq uint64, start time.Time, raw int, batch []Op, dirty []int,
-	st pll.UpdateStats, deferred bool, waitNS, coalesceNS, walNS, applyNS, hooksNS int64) {
+	st pll.UpdateStats, deferred bool, waitNS, coalesceNS, walNS, shipNS, applyNS, hooksNS int64) {
 	planNS := st.PlanDuration.Nanoseconds()
 	rebuildNS := st.BuildDuration.Nanoseconds()
 	e.stageNS.coalesce.Observe(coalesceNS)
 	if e.store != nil {
 		e.stageNS.wal.Observe(walNS)
+	}
+	if e.opts.Replication != nil {
+		e.stageNS.ship.Observe(shipNS)
 	}
 	e.stageNS.plan.Observe(planNS)
 	e.stageNS.apply.Observe(applyNS)
@@ -254,6 +258,21 @@ func (e *Engine) recordBatch(seq uint64, start time.Time, raw int, batch []Op, d
 	if e.trace == nil {
 		return
 	}
+	stages := []obs.Stage{
+		{Name: "coalesce", DurNS: coalesceNS},
+		{Name: "wal", DurNS: walNS},
+	}
+	// The ship stage appears only when a replication sink is attached, so
+	// unreplicated deployments keep their six-stage traces.
+	if e.opts.Replication != nil {
+		stages = append(stages, obs.Stage{Name: "ship", DurNS: shipNS})
+	}
+	stages = append(stages,
+		obs.Stage{Name: "plan", DurNS: planNS},
+		obs.Stage{Name: "apply", DurNS: applyNS},
+		obs.Stage{Name: "rebuild", DurNS: rebuildNS},
+		obs.Stage{Name: "hooks", DurNS: hooksNS},
+	)
 	e.trace.Add(obs.BatchTrace{
 		Seq:      seq,
 		Kind:     "batch",
@@ -263,15 +282,8 @@ func (e *Engine) recordBatch(seq uint64, start time.Time, raw int, batch []Op, d
 		Shards:   e.dirtyShards(dirty),
 		Deferred: deferred,
 		WaitNS:   waitNS,
-		Stages: []obs.Stage{
-			{Name: "coalesce", DurNS: coalesceNS},
-			{Name: "wal", DurNS: walNS},
-			{Name: "plan", DurNS: planNS},
-			{Name: "apply", DurNS: applyNS},
-			{Name: "rebuild", DurNS: rebuildNS},
-			{Name: "hooks", DurNS: hooksNS},
-		},
-		TotalNS: time.Since(start).Nanoseconds(),
+		Stages:   stages,
+		TotalNS:  time.Since(start).Nanoseconds(),
 	})
 }
 

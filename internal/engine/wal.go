@@ -66,7 +66,7 @@ type Store struct {
 	io       StoreIO
 	wal      StoreFile
 	walBytes int64
-	scratch  bytes.Buffer
+	scratch  []byte
 
 	// appendNS/fsyncNS time WAL appends (whole record, write+fsync) and
 	// the fsync alone. Set by the owning engine when metrics are enabled;
@@ -222,6 +222,38 @@ type walRecord struct {
 	ops []Op
 }
 
+// EncodeWALRecord appends one batch record — the exact bytes Append
+// writes to disk — to dst and returns the extended slice. The record
+// format doubles as the cluster replication wire format: a primary ships
+// the same bytes it logged, and a follower replays them through
+// DecodeWALRecord, so the two paths cannot drift.
+func EncodeWALRecord(dst []byte, seq uint64, ops []Op) []byte {
+	start := len(dst)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], seq)
+	dst = append(dst, tmp[:8]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(ops)))
+	dst = append(dst, tmp[:4]...)
+	for _, op := range ops {
+		dst = append(dst, byte(op.Kind))
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(op.A))
+		dst = append(dst, tmp[:4]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(op.B))
+		dst = append(dst, tmp[:4]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(dst[start:], crcTable))
+	return append(dst, tmp[:4]...)
+}
+
+// DecodeWALRecord parses one record from the front of data. ok is false
+// when the bytes are truncated or fail the CRC — a WAL reader treats both
+// as the torn tail of a crashed append; a replication receiver treats
+// them as a malformed ship.
+func DecodeWALRecord(data []byte) (seq uint64, ops []Op, recLen int, ok bool) {
+	rec, recLen, ok := decodeRecord(data)
+	return rec.seq, rec.ops, recLen, ok
+}
+
 // decodeRecord parses one record from the front of data. ok is false when
 // the bytes are truncated or fail the CRC — the reader treats both as the
 // torn tail of a crashed append.
@@ -274,24 +306,9 @@ func applyRecord(ix csc.Counter, rec walRecord) error {
 // Append writes one batch record and fsyncs it. The engine calls this
 // before mutating the index (write-ahead).
 func (s *Store) Append(seq uint64, batch []Op) error {
-	b := &s.scratch
-	b.Reset()
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], seq)
-	b.Write(tmp[:8])
-	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(batch)))
-	b.Write(tmp[:4])
-	for _, op := range batch {
-		b.WriteByte(byte(op.Kind))
-		binary.LittleEndian.PutUint32(tmp[:4], uint32(op.A))
-		b.Write(tmp[:4])
-		binary.LittleEndian.PutUint32(tmp[:4], uint32(op.B))
-		b.Write(tmp[:4])
-	}
-	binary.LittleEndian.PutUint32(tmp[:4], crc32.Checksum(b.Bytes(), crcTable))
-	b.Write(tmp[:4])
+	s.scratch = EncodeWALRecord(s.scratch[:0], seq, batch)
 	start := time.Now()
-	n, err := s.wal.Write(b.Bytes())
+	n, err := s.wal.Write(s.scratch)
 	s.walBytes += int64(n)
 	if err != nil {
 		return err

@@ -68,11 +68,17 @@ type BenchResult struct {
 	// latency (storage.go).
 	Storage *StorageRow `json:"storage,omitempty"`
 
-	// Ordering is set on the ORD-* rows the suite appends last: the
-	// hub-ordering shootout — label bytes, build time, and query
+	// Ordering is set on the ORD-* rows the suite appends after MEM-*:
+	// the hub-ordering shootout — label bytes, build time, and query
 	// percentiles per strategy, normalized against the degree baseline
 	// (ordering.go).
 	Ordering *OrderingRow `json:"ordering,omitempty"`
+
+	// Cluster is set on the CLUSTER-* rows the suite appends last: the
+	// replicated-cluster experiment — routed read throughput at one vs
+	// three worker groups and the kill-a-worker failover drill
+	// (cluster.go).
+	Cluster *ClusterRow `json:"cluster,omitempty"`
 }
 
 // benchQueries and benchUpdates bound the per-dataset sample sizes.
@@ -245,6 +251,18 @@ func BenchSuite(s Scale, ds []Dataset) []BenchResult {
 			Entries:     row.Entries,
 			Bytes:       row.LabelBytes,
 			Ordering:    &row,
+		})
+	}
+	for _, row := range Cluster(s) {
+		row := row
+		out = append(out, BenchResult{
+			Dataset:    "CLUSTER-" + row.Family,
+			Scale:      s.String(),
+			Workers:    Workers,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			N:          row.N,
+			M:          row.M,
+			Cluster:    &row,
 		})
 	}
 	return out

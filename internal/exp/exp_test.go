@@ -423,6 +423,56 @@ func TestChurnExperiment(t *testing.T) {
 	}
 }
 
+// TestClusterExperiment is the replicated-cluster acceptance gate: the
+// CLUSTER-* rows in BENCH_*.json come straight from these figures.
+// Throughput arms must be non-degenerate (ReadSpeedup is reported, not
+// gated — both arms share one GOMAXPROCS pool, so it measures routing
+// overhead, not multi-host scaling), and the failover drill must lose
+// zero acknowledged writes, fail over exactly once, and bound the write
+// blackout.
+func TestClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster experiment is not -short")
+	}
+	if raceEnabled {
+		// Wall-clock gates are meaningless on an instrumented binary, and
+		// the drill's correctness is already race-tested in internal/dist.
+		t.Skip("timing gate is not meaningful under -race")
+	}
+	rows := Cluster(Tiny)
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.N == 0 || r.M == 0 || r.Shards == 0 {
+		t.Fatalf("degenerate row %+v", r)
+	}
+	for _, a := range []ClusterThroughputArm{r.One, r.Three} {
+		if a.Reads == 0 || a.QPS <= 0 || a.P50NS <= 0 || a.P99NS < a.P50NS {
+			t.Fatalf("degenerate arm %+v", a)
+		}
+	}
+	if r.One.Groups != 1 || r.Three.Groups != 3 || r.ReadSpeedup <= 0 {
+		t.Fatalf("arm shape: %+v", r)
+	}
+	if r.AckedWrites == 0 || r.LostAckedWrites != 0 {
+		t.Fatalf("failover drill lost %d of %d acked writes", r.LostAckedWrites, r.AckedWrites)
+	}
+	if r.Failovers != 1 {
+		t.Fatalf("failovers %d, want exactly 1", r.Failovers)
+	}
+	if r.FailoverBlackoutNS <= 0 || r.FailoverBlackoutNS > (5*time.Second).Nanoseconds() {
+		t.Fatalf("blackout window %s, want (0, 5s]", time.Duration(r.FailoverBlackoutNS))
+	}
+	var buf bytes.Buffer
+	if err := WriteCluster(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rings") || !strings.Contains(buf.String(), "failover") {
+		t.Fatal("table missing expected content")
+	}
+}
+
 // The sharding experiment is the tentpole's acceptance gate: on the
 // DAG-heavy family the sharded build must be at least 2x faster and at
 // least 2x smaller than the monolithic one, and both numbers land in the

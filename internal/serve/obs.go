@@ -60,14 +60,15 @@ func NewHandler(e *engine.Engine, watch *monitor.TopK, k int, opts Options) http
 	}
 	mux := http.NewServeMux()
 	routes := map[string]http.HandlerFunc{
-		"GET /cycle/{v}":   s.cycle,
-		"GET /top":         s.top,
-		"POST /edges":      s.edges(engine.OpInsert),
-		"DELETE /edges":    s.edges(engine.OpDelete),
-		"GET /stats":       s.stats,
-		"GET /healthz":     s.healthz,
-		"GET /metrics":     s.metrics,
-		"GET /debug/trace": s.traces,
+		"GET /cycle/{v}":      s.cycle,
+		"GET /top":            s.top,
+		"POST /edges":         s.edges(engine.OpInsert),
+		"DELETE /edges":       s.edges(engine.OpDelete),
+		"GET /stats":          s.stats,
+		"GET /healthz":        s.healthz,
+		"GET /cluster/shards": s.clusterShards,
+		"GET /metrics":        s.metrics,
+		"GET /debug/trace":    s.traces,
 	}
 	if reg := e.Metrics(); reg != nil {
 		vec := reg.HistogramVec("cscd_http_request_seconds", "HTTP request latency by matched route", "route")
@@ -99,7 +100,7 @@ func NewHandler(e *engine.Engine, watch *monitor.TopK, k int, opts Options) http
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	reg := s.e.Metrics()
 	if reg == nil {
-		writeErr(w, http.StatusNotFound, "metrics disabled (engine has no registry)")
+		WriteError(w, http.StatusNotFound, CodeNotFound, 0, "metrics disabled (engine has no registry)")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -111,7 +112,7 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 func (s *server) traces(w http.ResponseWriter, r *http.Request) {
 	tr := s.e.Traces()
 	if tr == nil {
-		writeErr(w, http.StatusNotFound, "batch tracing disabled")
+		WriteError(w, http.StatusNotFound, CodeNotFound, 0, "batch tracing disabled")
 		return
 	}
 	writeJSON(w, http.StatusOK, tr)

@@ -54,6 +54,49 @@ type CycleJSON struct {
 	Exists bool   `json:"exists"`
 	Length int    `json:"length,omitempty"`
 	Count  uint64 `json:"count,omitempty"`
+	// Stale marks an answer served by a replication follower that may not
+	// have caught up to its primary's tip yet — a freshly promoted
+	// follower keeps serving flagged answers until replay closes the gap.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// ErrorJSON is the machine-readable error body every non-2xx response
+// carries: a human-readable message plus a stable code clients can
+// switch on, and — on backpressure statuses (429/503) — the same
+// retry-after the header advertises, so programmatic clients need not
+// parse headers. The cluster router (internal/dist) serves the identical
+// shape via WriteError.
+type ErrorJSON struct {
+	Error             string `json:"error"`
+	Code              string `json:"code"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// Error codes shared by the daemon and the cluster router.
+const (
+	CodeBadVertex     = "bad_vertex"     // non-integer / out-of-range vertex id
+	CodeBadMaxLen     = "bad_maxlen"     // malformed ?maxlen=
+	CodeBadBody       = "bad_body"       // unparseable request body
+	CodeNotFound      = "not_found"      // disabled surface (top without -k, metrics without registry)
+	CodeOverloaded    = "overloaded"     // mailbox full under the reject admission policy
+	CodeReadOnly      = "read_only"      // durability-lost read-only degraded mode
+	CodeWriterTimeout = "writer_timeout" // request deadline passed waiting on the writer
+	CodeNoReplica     = "no_replica"     // router: no reachable replica for the owning worker
+	CodePromoted      = "promoted"       // follower: replication stream severed by promotion
+)
+
+// WriteError writes the uniform ErrorJSON body. retryAfter > 0 also sets
+// the Retry-After header — 429/503 must always pass it so well-behaved
+// clients back off instead of piling on.
+func WriteError(w http.ResponseWriter, status int, code string, retryAfter int, format string, args ...any) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, ErrorJSON{
+		Error:             fmt.Sprintf(format, args...),
+		Code:              code,
+		RetryAfterSeconds: retryAfter,
+	})
 }
 
 // TopJSON is the /top response body.
@@ -73,14 +116,18 @@ type EdgeError struct {
 	Error string `json:"error"`
 }
 
-// EdgesResponse is the /edges response body. On a 429/503 Error is set
-// and Enqueued counts the prefix that made it in before admission cut
-// the batch off.
+// EdgesResponse is the /edges response body. On a 429/503 the ErrorJSON
+// fields (error, code, retry_after_seconds) are set — the same
+// machine-readable shape every other error response carries — and
+// Enqueued counts the prefix that made it in before admission cut the
+// batch off.
 type EdgesResponse struct {
-	Enqueued int         `json:"enqueued"`
-	Rejected []EdgeError `json:"rejected,omitempty"`
-	Flushed  bool        `json:"flushed,omitempty"`
-	Error    string      `json:"error,omitempty"`
+	Enqueued          int         `json:"enqueued"`
+	Rejected          []EdgeError `json:"rejected,omitempty"`
+	Flushed           bool        `json:"flushed,omitempty"`
+	Error             string      `json:"error,omitempty"`
+	Code              string      `json:"code,omitempty"`
+	RetryAfterSeconds int         `json:"retry_after_seconds,omitempty"`
 }
 
 // HealthJSON is the /healthz response body.
@@ -135,21 +182,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
 	v, err := strconv.Atoi(r.PathValue("v"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "vertex %q is not an integer", r.PathValue("v"))
+		WriteError(w, http.StatusBadRequest, CodeBadVertex, 0, "vertex %q is not an integer", r.PathValue("v"))
 		return
 	}
 	// Out-of-range ids (negative included) are malformed requests, not
 	// missing resources: the vertex space is fixed and known, so 400 —
 	// clients retrying a 404 as "not yet there" would spin forever.
 	if v < 0 || v >= s.e.NumVertices() {
-		writeErr(w, http.StatusBadRequest, "vertex %d out of range [0,%d)", v, s.e.NumVertices())
+		WriteError(w, http.StatusBadRequest, CodeBadVertex, 0, "vertex %d out of range [0,%d)", v, s.e.NumVertices())
 		return
 	}
 	var l int
@@ -157,7 +200,7 @@ func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("maxlen"); raw != "" {
 		maxLen, perr := strconv.Atoi(raw)
 		if perr != nil || maxLen < 1 {
-			writeErr(w, http.StatusBadRequest, "maxlen %q is not a positive integer", raw)
+			WriteError(w, http.StatusBadRequest, CodeBadMaxLen, 0, "maxlen %q is not a positive integer", raw)
 			return
 		}
 		l, c, err = s.e.CycleCountBoundedCtx(r.Context(), v, maxLen)
@@ -165,8 +208,7 @@ func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
 		l, c, err = s.e.CycleCountCtx(r.Context(), v)
 	}
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, "query gave up waiting for the writer: %v", err)
+		WriteError(w, http.StatusServiceUnavailable, CodeWriterTimeout, 1, "query gave up waiting for the writer: %v", err)
 		return
 	}
 	out := CycleJSON{Vertex: v}
@@ -180,7 +222,7 @@ func (s *server) cycle(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) top(w http.ResponseWriter, r *http.Request) {
 	if s.watch == nil {
-		writeErr(w, http.StatusNotFound, "top-k watch not enabled (start with -k)")
+		WriteError(w, http.StatusNotFound, CodeNotFound, 0, "top-k watch not enabled (start with -k)")
 		return
 	}
 	scores := s.watch.Top()
@@ -200,8 +242,14 @@ func (s *server) edges(kind engine.OpKind) http.HandlerFunc {
 		// the daemon; 16 MiB is ~1M edges per request, far beyond any sane
 		// batch.
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+			WriteError(w, http.StatusBadRequest, CodeBadBody, 0, "bad body: %v", err)
 			return
+		}
+		overloadResp := func(status int, code string, retryAfter int, resp EdgesResponse) {
+			resp.Code = code
+			resp.RetryAfterSeconds = retryAfter
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			writeJSON(w, status, resp)
 		}
 		var resp EdgesResponse
 		for _, eg := range req.Edges {
@@ -214,19 +262,16 @@ func (s *server) edges(kind engine.OpKind) http.HandlerFunc {
 				// off and tell the client to back off. Enqueued reports the
 				// prefix that made it in.
 				resp.Error = err.Error()
-				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusTooManyRequests, resp)
+				overloadResp(http.StatusTooManyRequests, CodeOverloaded, 1, resp)
 				return
 			case errors.Is(err, engine.ErrReadOnly):
 				resp.Error = err.Error()
-				w.Header().Set("Retry-After", "5")
-				writeJSON(w, http.StatusServiceUnavailable, resp)
+				overloadResp(http.StatusServiceUnavailable, CodeReadOnly, 5, resp)
 				return
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 				// Block policy, mailbox full past the request's deadline.
 				resp.Error = "writer saturated: " + err.Error()
-				w.Header().Set("Retry-After", "1")
-				writeJSON(w, http.StatusServiceUnavailable, resp)
+				overloadResp(http.StatusServiceUnavailable, CodeWriterTimeout, 1, resp)
 				return
 			default:
 				resp.Rejected = append(resp.Rejected, EdgeError{Edge: eg, Error: err.Error()})
@@ -238,6 +283,50 @@ func (s *server) edges(kind engine.OpKind) http.HandlerFunc {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// ShardTableJSON is the GET /cluster/shards response: the vertex→shard
+// table plus per-shard footprint stats — everything a cluster
+// coordinator needs to compute a size-balanced placement and everything
+// a router needs to route reads (internal/dist fetches this at boot).
+type ShardTableJSON struct {
+	Vertices int         `json:"vertices"`
+	Seq      uint64      `json:"seq"`
+	ShardOf  []int32     `json:"shard_of"` // per vertex; -1 = trivial (answers zero cycles locally)
+	Shards   []ShardJSON `json:"shards"`
+}
+
+// ShardJSON is one live shard's footprint in a ShardTableJSON.
+type ShardJSON struct {
+	Slot       int  `json:"slot"`
+	Vertices   int  `json:"vertices"`
+	Entries    int  `json:"entries"`
+	LabelBytes int  `json:"label_bytes"`
+	Stale      bool `json:"stale,omitempty"`
+}
+
+func (s *server) clusterShards(w http.ResponseWriter, r *http.Request) {
+	shardOf, stats, ok := s.e.ShardTable()
+	if !ok {
+		WriteError(w, http.StatusNotFound, CodeNotFound, 0, "index is not sharded (no shard table to place)")
+		return
+	}
+	out := ShardTableJSON{
+		Vertices: len(shardOf),
+		Seq:      s.e.Seq(),
+		ShardOf:  shardOf,
+		Shards:   make([]ShardJSON, 0, len(stats)),
+	}
+	for _, st := range stats {
+		out.Shards = append(out.Shards, ShardJSON{
+			Slot:       st.Slot,
+			Vertices:   st.Vertices,
+			Entries:    st.Entries,
+			LabelBytes: st.LabelBytes,
+			Stale:      st.Stale,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/csc"
 	"repro/internal/engine"
+	"repro/internal/faultstore"
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/serve"
@@ -277,32 +278,34 @@ func TestMalformedRequests(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	cases := []struct {
-		name   string
-		method string
-		path   string
-		body   any
-		want   int
+		name     string
+		method   string
+		path     string
+		body     any
+		want     int
+		wantCode string // machine-readable error code on ≥400 responses
 	}{
-		{"cycle ok", "GET", "/cycle/0", nil, 200},
-		{"cycle bounded ok", "GET", "/cycle/0?maxlen=3", nil, 200},
-		{"cycle non-numeric", "GET", "/cycle/notanumber", nil, 400},
-		{"cycle float", "GET", "/cycle/1.5", nil, 400},
-		{"cycle negative", "GET", "/cycle/-1", nil, 400},
-		{"cycle out of range", "GET", "/cycle/8", nil, 400},
-		{"cycle far out of range", "GET", "/cycle/999999", nil, 400},
-		{"cycle overflow", "GET", "/cycle/99999999999999999999", nil, 400},
-		{"maxlen non-numeric", "GET", "/cycle/0?maxlen=abc", nil, 400},
-		{"maxlen zero", "GET", "/cycle/0?maxlen=0", nil, 400},
-		{"maxlen negative", "GET", "/cycle/0?maxlen=-2", nil, 400},
-		{"maxlen overflow", "GET", "/cycle/0?maxlen=99999999999999999999", nil, 400},
-		{"maxlen on bad vertex", "GET", "/cycle/-5?maxlen=abc", nil, 400},
-		{"edges bad json", "POST", "/edges", "not json", 400},
-		{"edges delete bad json", "DELETE", "/edges", "not json", 400},
-		{"top without watch", "GET", "/top", nil, 404},
-		{"stats", "GET", "/stats", nil, 200},
-		{"healthz", "GET", "/healthz", nil, 200},
-		{"metrics without registry", "GET", "/metrics", nil, 404},
-		{"trace without ring", "GET", "/debug/trace", nil, 404},
+		{"cycle ok", "GET", "/cycle/0", nil, 200, ""},
+		{"cycle bounded ok", "GET", "/cycle/0?maxlen=3", nil, 200, ""},
+		{"cycle non-numeric", "GET", "/cycle/notanumber", nil, 400, serve.CodeBadVertex},
+		{"cycle float", "GET", "/cycle/1.5", nil, 400, serve.CodeBadVertex},
+		{"cycle negative", "GET", "/cycle/-1", nil, 400, serve.CodeBadVertex},
+		{"cycle out of range", "GET", "/cycle/8", nil, 400, serve.CodeBadVertex},
+		{"cycle far out of range", "GET", "/cycle/999999", nil, 400, serve.CodeBadVertex},
+		{"cycle overflow", "GET", "/cycle/99999999999999999999", nil, 400, serve.CodeBadVertex},
+		{"maxlen non-numeric", "GET", "/cycle/0?maxlen=abc", nil, 400, serve.CodeBadMaxLen},
+		{"maxlen zero", "GET", "/cycle/0?maxlen=0", nil, 400, serve.CodeBadMaxLen},
+		{"maxlen negative", "GET", "/cycle/0?maxlen=-2", nil, 400, serve.CodeBadMaxLen},
+		{"maxlen overflow", "GET", "/cycle/0?maxlen=99999999999999999999", nil, 400, serve.CodeBadMaxLen},
+		{"maxlen on bad vertex", "GET", "/cycle/-5?maxlen=abc", nil, 400, serve.CodeBadVertex},
+		{"edges bad json", "POST", "/edges", "not json", 400, serve.CodeBadBody},
+		{"edges delete bad json", "DELETE", "/edges", "not json", 400, serve.CodeBadBody},
+		{"top without watch", "GET", "/top", nil, 404, serve.CodeNotFound},
+		{"stats", "GET", "/stats", nil, 200, ""},
+		{"healthz", "GET", "/healthz", nil, 200, ""},
+		{"metrics without registry", "GET", "/metrics", nil, 404, serve.CodeNotFound},
+		{"trace without ring", "GET", "/debug/trace", nil, 404, serve.CodeNotFound},
+		{"cluster shards on monolithic", "GET", "/cluster/shards", nil, 404, serve.CodeNotFound},
 	}
 	for _, tc := range cases {
 		var rd *bytes.Reader
@@ -330,6 +333,11 @@ func TestMalformedRequests(t *testing.T) {
 		if resp.StatusCode >= 400 {
 			if _, ok := body["error"]; !ok {
 				t.Errorf("%s: %d response carries no error field: %v", tc.name, resp.StatusCode, body)
+			}
+			var code string
+			_ = json.Unmarshal(body["code"], &code)
+			if code != tc.wantCode {
+				t.Errorf("%s: machine-readable code %q, want %q", tc.name, code, tc.wantCode)
 			}
 		}
 	}
@@ -363,6 +371,110 @@ func TestMalformedRequests(t *testing.T) {
 			t.Errorf("%s: access line records %s %d, want %s %d",
 				tc.name, line.Method, line.Status, tc.method, tc.want)
 		}
+	}
+}
+
+// Overload answers must carry the same machine-readable shape as the
+// validation errors: 429 under the reject policy comes back with code
+// "overloaded", a Retry-After header, and the enqueued prefix.
+func TestOverloadedErrorShape(t *testing.T) {
+	g := graph.New(6)
+	x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
+	e := engine.New(x, engine.Options{
+		FlushInterval: -1,
+		MailboxSize:   1,
+		Admission:     engine.AdmitReject,
+	})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	e.OnBatch(func([]engine.Op, []int) {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	})
+	t.Cleanup(func() {
+		close(release)
+		e.Close()
+	})
+	srv := httptest.NewServer(serve.Handler(e, nil, 0))
+	t.Cleanup(srv.Close)
+
+	// First batch occupies the writer (parked in the hook), second fills
+	// the 1-slot mailbox, third must bounce with 429.
+	if code, _ := do(t, "POST", srv.URL+"/edges", serve.EdgesRequest{Edges: [][2]int{{0, 1}}}); code != 200 {
+		t.Fatalf("first enqueue: %d", code)
+	}
+	<-entered
+	if code, _ := do(t, "POST", srv.URL+"/edges", serve.EdgesRequest{Edges: [][2]int{{1, 2}}}); code != 200 {
+		t.Fatalf("second enqueue: %d", code)
+	}
+	body, _ := json.Marshal(serve.EdgesRequest{Edges: [][2]int{{2, 3}}})
+	resp, err := http.Post(srv.URL+"/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.EdgesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("non-JSON 429 body: %v", err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%+v)", resp.StatusCode, out)
+	}
+	if out.Code != serve.CodeOverloaded || out.RetryAfterSeconds < 1 || out.Error == "" {
+		t.Fatalf("429 shape: %+v", out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+}
+
+// Read-only degradation (durability lost) must answer 503 with code
+// "read_only" and a Retry-After, not a bare error string.
+func TestReadOnlyErrorShape(t *testing.T) {
+	fio := faultstore.New()
+	bootstrap := func() (csc.Counter, error) {
+		g := graph.New(6)
+		x, _ := csc.Build(g, order.ByDegree(g), csc.Options{})
+		return x, nil
+	}
+	e, err := engine.OpenIO(t.TempDir(), fio, bootstrap, engine.Options{FlushInterval: -1, WALRetry: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	srv := httptest.NewServer(serve.Handler(e, nil, 0))
+	t.Cleanup(srv.Close)
+
+	// The disk breaks; the next applied batch degrades the engine.
+	fio.Inject(faultstore.Fault{Point: faultstore.WALWrite, Err: faultstore.ErrInjected})
+	if code, _ := do(t, "POST", srv.URL+"/edges?flush=1", serve.EdgesRequest{Edges: [][2]int{{0, 1}}}); code != 200 {
+		t.Fatalf("degrading batch enqueue: %d", code)
+	}
+	body, _ := json.Marshal(serve.EdgesRequest{Edges: [][2]int{{1, 2}}})
+	resp, err := http.Post(srv.URL+"/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.EdgesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("non-JSON 503 body: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%+v)", resp.StatusCode, out)
+	}
+	if out.Code != serve.CodeReadOnly || out.RetryAfterSeconds < 1 {
+		t.Fatalf("503 shape: %+v", out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without a Retry-After header")
+	}
+	// Reads keep serving while degraded.
+	if code, _ := do(t, "GET", srv.URL+"/cycle/0", nil); code != 200 {
+		t.Fatalf("read while read-only: %d", code)
 	}
 }
 
